@@ -1,0 +1,66 @@
+"""Fig. 2 / §4: data-layout ablation on packed bit-matrices.
+
+Measures the three access patterns of tableau simulation per layout:
+column ops (gates), row ops (measurements), and the gate->measure mode
+switch (full-matrix reorganization for chp-style storage is a no-op, so
+the interesting comparison is tiled-local-transpose cost vs op speed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.layout import make_layout
+
+N = 1536
+N_OPS = 128
+KINDS = ["chp", "stim8", "symphase512"]
+
+
+def _loaded(kind):
+    rng = np.random.default_rng(7)
+    layout = make_layout(kind, N)
+    layout.load_dense((rng.random((N, N)) < 0.5).astype(np.uint8))
+    picks = rng.integers(0, N, size=(N_OPS, 2))
+    picks = picks[picks[:, 0] != picks[:, 1]]
+    return layout, picks
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_column_ops(benchmark, kind):
+    benchmark.group = "fig2-column-ops"
+    layout, picks = _loaded(kind)
+    layout.set_mode("gate")
+
+    def run():
+        for a, b in picks:
+            layout.column_xor(int(a), int(b))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_row_ops(benchmark, kind):
+    benchmark.group = "fig2-row-ops"
+    layout, picks = _loaded(kind)
+    layout.set_mode("measure")
+
+    def run():
+        for a, b in picks:
+            layout.row_xor(int(a), int(b))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_mode_switch(benchmark, kind):
+    benchmark.group = "fig2-mode-switch"
+    layout, _ = _loaded(kind)
+    state = {"mode": "gate"}
+    layout.set_mode("gate")
+
+    def run():
+        nxt = "measure" if state["mode"] == "gate" else "gate"
+        layout.set_mode(nxt)
+        state["mode"] = nxt
+
+    benchmark(run)

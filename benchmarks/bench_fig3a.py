@@ -1,0 +1,51 @@
+"""Fig. 3a: layered random circuits, 5 CNOT pairs per layer.
+
+Paper series: (1) time to initialize a sampler, (2) time to generate the
+sample batch — for SymPhase vs the Pauli-frame baseline, as n grows.
+Expected shape (paper): SymPhase wins (2) at every n, loses (1).
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    build_frame_sampler,
+    build_symphase_sampler,
+    make_rng,
+)
+from repro.workloads import fig3a_circuit
+
+SIZES = [16, 32, 48]
+SHOTS = 2000
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return {n: fig3a_circuit(n, seed=0) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3a-init-n{n}"
+    benchmark(build_symphase_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3a-init-n{n}"
+    benchmark(build_frame_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3a-sample-n{n}"
+    sampler = build_symphase_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3a-sample-n{n}"
+    sampler = build_frame_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)

@@ -1,0 +1,48 @@
+"""Fig. 3b: layered random circuits, ⌊n/2⌋ CNOT pairs per layer (dense
+interaction).  Same series as Fig. 3a on a gate-heavier workload, where
+the frame baseline's per-batch gate traversal costs the most."""
+
+import pytest
+
+from benchmarks.helpers import (
+    build_frame_sampler,
+    build_symphase_sampler,
+    make_rng,
+)
+from repro.workloads import fig3b_circuit
+
+SIZES = [16, 32, 48]
+SHOTS = 2000
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return {n: fig3b_circuit(n, seed=0) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3b-init-n{n}"
+    benchmark(build_symphase_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3b-init-n{n}"
+    benchmark(build_frame_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3b-sample-n{n}"
+    sampler = build_symphase_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3b-sample-n{n}"
+    sampler = build_frame_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)

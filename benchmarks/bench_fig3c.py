@@ -1,0 +1,48 @@
+"""Fig. 3c: Fig. 3b's workload plus single-qubit depolarization on every
+qubit in every layer — the noisy case where the frame baseline must also
+re-sample noise per batch while SymPhase folds it into the symbol draw."""
+
+import pytest
+
+from benchmarks.helpers import (
+    build_frame_sampler,
+    build_symphase_sampler,
+    make_rng,
+)
+from repro.workloads import fig3c_circuit
+
+SIZES = [16, 32]
+SHOTS = 2000
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    return {n: fig3c_circuit(n, seed=0) for n in SIZES}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3c-init-n{n}"
+    benchmark(build_symphase_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3c-init-n{n}"
+    benchmark(build_frame_sampler, circuits[n])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_symphase(benchmark, circuits, n):
+    benchmark.group = f"fig3c-sample-n{n}"
+    sampler = build_symphase_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sample_frame(benchmark, circuits, n):
+    benchmark.group = f"fig3c-sample-n{n}"
+    sampler = build_frame_sampler(circuits[n])
+    rng = make_rng()
+    benchmark(sampler.sample, SHOTS, rng)

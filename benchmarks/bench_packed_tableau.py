@@ -1,0 +1,60 @@
+"""Ablation: word-parallel packed tableau vs per-row uint8 tableau.
+
+The §4 layout claims become simulator-level numbers here: gate
+application on the qubit-major packed form updates 64 generators per
+word, and the gate->measure transition costs one bit-transpose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tableau import Tableau
+from repro.tableau.packed import PackedTableau
+
+N = 512
+N_GATES = 400
+
+
+def _gate_list(n, rng):
+    singles = ("H", "S", "SQRT_X", "C_XYZ")
+    gates = []
+    for _ in range(N_GATES):
+        if rng.random() < 0.4:
+            a, b = rng.choice(n, 2, replace=False)
+            gates.append(("CX", (int(a), int(b))))
+        else:
+            gates.append((str(rng.choice(singles)), (int(rng.integers(n)),)))
+    return gates
+
+
+@pytest.fixture(scope="module")
+def gates():
+    return _gate_list(N, np.random.default_rng(0))
+
+
+def test_gates_unpacked(benchmark, gates):
+    benchmark.group = "tableau-gate-throughput"
+    tableau = Tableau(N)
+
+    def run():
+        for name, targets in gates:
+            tableau.apply_gate(name, targets)
+
+    benchmark(run)
+
+
+def test_gates_packed(benchmark, gates):
+    benchmark.group = "tableau-gate-throughput"
+    packed = PackedTableau(N)
+
+    def run():
+        for name, targets in gates:
+            packed.apply_gate(name, targets)
+
+    benchmark(run)
+
+
+def test_mode_switch_cost(benchmark):
+    benchmark.group = "tableau-mode-switch"
+    packed = PackedTableau(N)
+    benchmark(packed.to_tableau)

@@ -1,0 +1,84 @@
+"""Table 1: asymptotic sampling-cost comparison.
+
+Two sweeps isolate the two claims:
+
+* gate sweep — SymPhase's per-batch sampling cost is *independent of the
+  gate count* n_g; the frame baseline's grows linearly with it;
+* shot sweep — both are linear in n_smp (the constant differs).
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    build_frame_sampler,
+    build_symphase_sampler,
+    make_rng,
+)
+from repro.workloads import layered_random_circuit
+
+N_QUBITS = 24
+LAYER_SWEEP = [10, 40, 160]
+SHOT_SWEEP = [500, 2000]
+BASE_SHOTS = 1000
+
+
+@pytest.fixture(scope="module")
+def gate_sweep_circuits():
+    return {
+        layers: layered_random_circuit(
+            N_QUBITS, n_layers=layers, cnot_pairs_per_layer=5, seed=0
+        )
+        for layers in LAYER_SWEEP
+    }
+
+
+@pytest.mark.parametrize("layers", LAYER_SWEEP)
+def test_sample_vs_gates_symphase(benchmark, gate_sweep_circuits, layers):
+    benchmark.group = f"table1-gates-L{layers}"
+    sampler = build_symphase_sampler(gate_sweep_circuits[layers])
+    rng = make_rng()
+    benchmark(sampler.sample, BASE_SHOTS, rng)
+
+
+@pytest.mark.parametrize("layers", LAYER_SWEEP)
+def test_sample_vs_gates_frame(benchmark, gate_sweep_circuits, layers):
+    benchmark.group = f"table1-gates-L{layers}"
+    sampler = build_frame_sampler(gate_sweep_circuits[layers])
+    rng = make_rng()
+    benchmark(sampler.sample, BASE_SHOTS, rng)
+
+
+@pytest.fixture(scope="module")
+def fixed_circuit():
+    return layered_random_circuit(
+        N_QUBITS, n_layers=40, cnot_pairs_per_layer=5, seed=0
+    )
+
+
+@pytest.mark.parametrize("shots", SHOT_SWEEP)
+def test_sample_vs_shots_symphase(benchmark, fixed_circuit, shots):
+    benchmark.group = f"table1-shots-{shots}"
+    sampler = build_symphase_sampler(fixed_circuit)
+    rng = make_rng()
+    benchmark(sampler.sample, shots, rng)
+
+
+@pytest.mark.parametrize("shots", SHOT_SWEEP)
+def test_sample_vs_shots_frame(benchmark, fixed_circuit, shots):
+    benchmark.group = f"table1-shots-{shots}"
+    sampler = build_frame_sampler(fixed_circuit)
+    rng = make_rng()
+    benchmark(sampler.sample, shots, rng)
+
+
+@pytest.mark.parametrize("layers", LAYER_SWEEP)
+def test_init_vs_gates_symphase(benchmark, gate_sweep_circuits, layers):
+    """Init cost grows with n_g for both engines (Table 1 rows 1 and 3)."""
+    benchmark.group = f"table1-init-L{layers}"
+    benchmark(build_symphase_sampler, gate_sweep_circuits[layers])
+
+
+@pytest.mark.parametrize("layers", LAYER_SWEEP)
+def test_init_vs_gates_frame(benchmark, gate_sweep_circuits, layers):
+    benchmark.group = f"table1-init-L{layers}"
+    benchmark(build_frame_sampler, gate_sweep_circuits[layers])

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures: circuit builders and sampler constructors.
+
+Sizes are CI-scale (pure Python is ~100x slower than the paper's Julia/
+C++ setups); the comparisons — which engine's *sampling* is faster, which
+engine's *init* is faster — are size-independent.  EXPERIMENTS.md records
+the paper-vs-measured shape for the full sweeps run via
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CompiledSampler, SymPhaseSimulator
+from repro.frame import FrameSimulator
+
+
+def build_symphase_sampler(circuit) -> CompiledSampler:
+    """The paper's Initialization procedure (Algorithm 1, line 1)."""
+    return CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
+
+
+def build_frame_sampler(circuit) -> FrameSimulator:
+    """The baseline's initialization (circuit analysis + reference run)."""
+    return FrameSimulator(circuit)
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,67 @@
+"""Closing the loop the paper motivates: sample millions of syndromes
+fast, decode them, estimate logical error rates.
+
+The detector error model is extracted straight from the symbolic phases
+(no Monte-Carlo probing), then decoded with minimum-weight perfect
+matching.  The repetition-code sweep exhibits the textbook threshold
+behaviour: below threshold, higher distance exponentially suppresses the
+logical error rate; above it, higher distance hurts.
+
+Run:  python examples/decoding_threshold.py
+"""
+
+import numpy as np
+
+from repro.decoders import MatchingDecoder, logical_error_rate
+from repro.dem import extract_dem
+from repro.qec import repetition_code_memory, surface_code_memory
+
+SHOTS = 4000
+rng_seed = 0
+
+print("repetition code, MWPM decoding, logical error rate")
+print(f"{'p':>7} | " + " ".join(f"{'d=' + str(d):>9}" for d in (3, 5, 7)))
+print("-" * 42)
+for p in (0.02, 0.05, 0.10, 0.20, 0.35):
+    rates = []
+    for d in (3, 5, 7):
+        circuit = repetition_code_memory(
+            d, rounds=3,
+            data_flip_probability=p,
+            measure_flip_probability=p,
+        )
+        decoder = MatchingDecoder(extract_dem(circuit))
+        rate = logical_error_rate(
+            circuit, decoder, SHOTS, np.random.default_rng(rng_seed)
+        )
+        rates.append(rate)
+    marker = "  <- crossover region" if 0.3 < rates[0] < 0.6 else ""
+    print(f"{p:>7} | " + " ".join(f"{r:>9.4f}" for r in rates) + marker)
+
+print("""
+Below threshold the columns decrease left to right (distance helps);
+near p ~ 0.35 the ordering inverts — the code stops helping.
+""")
+
+print("surface code d=3, circuit-level depolarizing noise")
+print(f"{'p':>8} {'detector rate':>14} {'LER (MWPM)':>11}")
+for p in (0.001, 0.003, 0.01):
+    circuit = surface_code_memory(
+        3, rounds=3,
+        after_clifford_depolarization=p,
+        before_measure_flip_probability=p,
+    )
+    dem = extract_dem(circuit)
+    decoder = MatchingDecoder(dem)
+    from repro.core import compile_sampler
+
+    sampler = compile_sampler(circuit)
+    detectors, observables = sampler.sample_detectors(
+        SHOTS, np.random.default_rng(rng_seed)
+    )
+    predictions = decoder.decode_batch(detectors)
+    failures = (predictions != observables).any(axis=1).mean()
+    print(f"{p:>8} {detectors.mean():>14.4f} {failures:>11.4f}")
+
+print("\n(The surface-code DEM has hyperedge mechanisms from DEPOLARIZE2;")
+print("MWPM decodes its graphlike restriction, the standard practice.)")

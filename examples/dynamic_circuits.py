@@ -1,0 +1,77 @@
+"""Dynamic circuits: classically-controlled Paulis under symbolization.
+
+The paper's §6 observes that symbolic measurement expressions make
+feed-forward natural: a conditional Pauli ``X^e`` just XORs the whole
+expression ``e`` into the anticommuting phases.  This example runs
+quantum teleportation — whose correction step is feed-forward — and
+shows (a) the teleported qubit arrives exactly, (b) the symbolic
+expressions of the Bell measurement, and (c) an entanglement-swapping
+chain teleporting through several hops in one compiled sampler.
+
+Run:  python examples/dynamic_circuits.py
+"""
+
+import numpy as np
+
+from repro import Circuit, SymPhaseSimulator, CompiledSampler
+from repro.circuit import RecTarget
+
+# ------------------------------------------------------------ teleport --
+teleport = Circuit.from_text("""
+    # prepare |-> on qubit 0 (the state to teleport)
+    X 0
+    H 0
+    # Bell pair on qubits 1, 2
+    H 1
+    CX 1 2
+    # Bell measurement of 0 and 1
+    CX 0 1
+    H 0
+    M 0 1
+    # feed-forward corrections onto qubit 2
+    CX rec[-1] 2
+    CZ rec[-2] 2
+    # verify: |-> must read 1 in the X basis
+    MX 2
+""")
+
+sim = SymPhaseSimulator.from_circuit(teleport)
+print("teleportation — symbolic measurement expressions:")
+for k in range(sim.num_measurements):
+    print(f"  m{k} = {sim.measurement_expression(k)}")
+
+records = CompiledSampler(sim).sample(5000, np.random.default_rng(0))
+print(f"\nBell outcomes uniform:   {records[:, 0].mean():.3f}, "
+      f"{records[:, 1].mean():.3f}")
+print(f"teleported |-> reads 1:  {records[:, 2].mean():.3f}  (exact)")
+assert records[:, 2].all()
+
+# ------------------------------------------------- entanglement swapping --
+# A 3-hop repeater: teleport one half of a Bell pair down a chain, with
+# feed-forward at every station, then check the end-to-end correlation.
+hops = 3
+chain = Circuit()
+chain.h(0)
+chain.cx(0, 1)
+for hop in range(hops):
+    a = 2 * hop + 1      # qubit holding the travelling half
+    b = a + 1            # new Bell pair (b, b+1)
+    chain.h(b)
+    chain.cx(b, b + 1)
+    chain.cx(a, b)
+    chain.h(a)
+    chain.m(a, b)
+    chain.append("CX", [RecTarget(-1), b + 1])
+    chain.append("CZ", [RecTarget(-2), b + 1])
+end = 2 * hops + 1
+chain.m(0, end)
+
+records = CompiledSampler(
+    SymPhaseSimulator.from_circuit(chain)
+).sample(5000, np.random.default_rng(1))
+anchor, far = records[:, -2], records[:, -1]
+print(f"\nentanglement swapping over {hops} stations "
+      f"({chain.n_qubits} qubits, {chain.num_measurements} measurements):")
+print(f"  end-to-end agreement: {(anchor == far).mean():.3f}  "
+      "(1.000 = perfect Bell correlation survived every hop)")
+assert (anchor == far).all()

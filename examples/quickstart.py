@@ -1,0 +1,53 @@
+"""Quickstart: build a noisy stabilizer circuit, compile it once, sample many.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Circuit, FrameSimulator, SymPhaseSimulator, CompiledSampler
+
+# ---------------------------------------------------------------- build --
+# Circuits can be built programmatically ...
+circuit = (
+    Circuit()
+    .h(0)
+    .cx(0, 1)
+    .depolarize1(0.05, 0, 1)
+    .m(0, 1)
+)
+
+# ... or parsed from Stim-dialect text.
+same_circuit = Circuit.from_text("""
+    H 0
+    CNOT 0 1
+    DEPOLARIZE1(0.05) 0 1
+    M 0 1
+""")
+assert circuit == same_circuit
+print(f"circuit: {circuit!r}")
+
+# ----------------------------------------------------------- symbolize --
+# One forward traversal turns every measurement into a symbolic
+# expression over fault symbols and measurement coins (Algorithm 1).
+simulator = SymPhaseSimulator.from_circuit(circuit)
+for k in range(simulator.num_measurements):
+    print(f"  m{k} = {simulator.measurement_expression(k)}")
+
+# -------------------------------------------------------------- sample --
+# Sampling is a GF(2) matrix product — the circuit is never re-traversed.
+sampler = CompiledSampler(simulator)
+rng = np.random.default_rng(0)
+records = sampler.sample(100_000, rng)
+print(f"sampled {records.shape[0]} shots of {records.shape[1]} bits")
+print(f"  marginals:            {records.mean(axis=0)}")
+print(f"  Bell-pair mismatch:   {(records[:, 0] ^ records[:, 1]).mean():.4f}"
+      "  (theory: 2*(2*0.05/3 + ...) ~ 0.0644)")
+
+# ------------------------------------------------------------ baseline --
+# The Pauli-frame baseline (Stim's algorithm) agrees, but re-traverses
+# the circuit for every batch.
+frame = FrameSimulator(circuit)
+frame_records = frame.sample(100_000, rng)
+print(f"  frame-baseline mismatch rate: "
+      f"{(frame_records[:, 0] ^ frame_records[:, 1]).mean():.4f}")

@@ -1,0 +1,28 @@
+"""SymPhase reproduction: phase symbolization for fast stabilizer sampling.
+
+Public API re-exports the main entry points:
+
+- :class:`repro.circuit.Circuit` — circuit IR + Stim-dialect parser.
+- :class:`repro.core.SymPhaseSimulator` — Algorithm 1 (symbolic phases).
+- :class:`repro.core.CompiledSampler` — Eq. 4 matmul sampler.
+- :class:`repro.frame.FrameSimulator` — Pauli-frame baseline (Stim's
+  sampling algorithm), the comparison target of the paper's evaluation.
+- :class:`repro.tableau.Tableau` — Aaronson–Gottesman tableau.
+"""
+
+from repro.circuit import Circuit
+from repro.core import CompiledSampler, SymPhaseSimulator, compile_sampler
+from repro.frame import FrameSimulator
+from repro.tableau import Tableau
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CompiledSampler",
+    "FrameSimulator",
+    "SymPhaseSimulator",
+    "Tableau",
+    "compile_sampler",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Circuit intermediate representation and Stim-dialect text format.
+
+A :class:`Circuit` is a flat list of :class:`Instruction` and
+:class:`RepeatBlock` entries.  The text format is a compatible subset of
+Stim's: one instruction per line, optional parenthesized arguments,
+qubit / ``rec[-k]`` / Pauli targets, ``REPEAT n { ... }`` blocks, and
+``#`` comments.
+"""
+
+from repro.circuit.instructions import (
+    Instruction,
+    PauliTarget,
+    RecTarget,
+    RepeatBlock,
+    Target,
+)
+from repro.circuit.circuit import Circuit
+from repro.circuit.parser import parse_circuit
+from repro.circuit.transforms import (
+    depth,
+    inverse_circuit,
+    moments,
+    remap_qubits,
+    without_noise,
+)
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "PauliTarget",
+    "RecTarget",
+    "RepeatBlock",
+    "Target",
+    "depth",
+    "inverse_circuit",
+    "moments",
+    "parse_circuit",
+    "remap_qubits",
+    "without_noise",
+]

@@ -1,0 +1,159 @@
+"""Circuit transformations: inversion, noise stripping, remapping.
+
+These are the utility passes a circuit library is expected to ship.
+Gate inverses are *derived* from the conjugation tables (a gate's
+inverse is the registered gate whose symplectic action and signs undo
+it), so the inverse map can never drift from the unitaries.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.instructions import (
+    Instruction,
+    PauliTarget,
+    RecTarget,
+    RepeatBlock,
+)
+from repro.gates.database import GATES
+from repro.gates.tables import conjugation_table
+
+
+@lru_cache(maxsize=None)
+def inverse_gate_name(name: str) -> str:
+    """The registered gate undoing ``name`` (exact, including signs)."""
+    table = conjugation_table(name)
+    outputs, flips = table.outputs, table.flips
+    for candidate, data in GATES.items():
+        if not data.is_unitary:
+            continue
+        other = conjugation_table(candidate)
+        if other.n_qubits != table.n_qubits:
+            continue
+        if _composes_to_identity(outputs, flips, other.outputs, other.flips):
+            return candidate
+    raise LookupError(f"no registered inverse for {name}")
+
+
+def _composes_to_identity(out_a, flip_a, out_b, flip_b) -> bool:
+    """Does applying table A then table B fix every basis Pauli with +sign?"""
+    n_entries, width = out_a.shape
+    for index in range(n_entries):
+        bits = [(index >> (width - 1 - j)) & 1 for j in range(width)]
+        mid = out_a[index]
+        mid_index = 0
+        for b in mid:
+            mid_index = (mid_index << 1) | int(b)
+        final = out_b[mid_index]
+        if not np.array_equal(final, np.array(bits, dtype=np.uint8)):
+            return False
+        if (flip_a[index] ^ flip_b[mid_index]) != 0:
+            return False
+    return True
+
+
+def inverse_circuit(circuit: Circuit) -> Circuit:
+    """The inverse of a purely unitary circuit (gates reversed+inverted)."""
+    out = Circuit()
+    for entry in reversed(circuit.entries):
+        if isinstance(entry, RepeatBlock):
+            out.entries.append(
+                RepeatBlock(entry.count, inverse_circuit(entry.body))
+            )
+            continue
+        gate = entry.gate
+        if gate.kind == "annotation":
+            continue
+        if not gate.is_unitary:
+            raise ValueError(
+                f"cannot invert non-unitary instruction {entry.name}"
+            )
+        if any(isinstance(t, RecTarget) for t in entry.targets):
+            raise ValueError("cannot invert feedback instructions")
+        inverse_name = inverse_gate_name(gate.name)
+        if gate.targets_per_op == 2:
+            # Reverse the pair order too (pairs act left to right).
+            pairs = list(zip(entry.targets[0::2], entry.targets[1::2]))
+            targets: list[int] = []
+            for a, b in reversed(pairs):
+                targets.extend((a, b))
+            out.append(inverse_name, targets)
+        else:
+            out.append(inverse_name, tuple(reversed(entry.targets)))
+    return out
+
+
+def without_noise(circuit: Circuit) -> Circuit:
+    """A copy with every noise instruction removed (records unchanged)."""
+    out = Circuit()
+    for entry in circuit.entries:
+        if isinstance(entry, RepeatBlock):
+            out.entries.append(RepeatBlock(entry.count, without_noise(entry.body)))
+        elif entry.gate.kind != "noise":
+            out.entries.append(entry)
+    return out
+
+
+def remap_qubits(circuit: Circuit, mapping: dict[int, int]) -> Circuit:
+    """Relabel qubits; unmapped indices stay put."""
+    def map_target(target):
+        if isinstance(target, int):
+            return mapping.get(target, target)
+        if isinstance(target, PauliTarget):
+            return PauliTarget(target.pauli, mapping.get(target.qubit, target.qubit))
+        return target
+
+    out = Circuit()
+    for entry in circuit.entries:
+        if isinstance(entry, RepeatBlock):
+            out.entries.append(
+                RepeatBlock(entry.count, remap_qubits(entry.body, mapping))
+            )
+        else:
+            remapped = Instruction(
+                entry.name,
+                tuple(map_target(t) for t in entry.targets),
+                entry.args,
+            )
+            remapped.validate()
+            out.entries.append(remapped)
+    return out
+
+
+def moments(circuit: Circuit) -> list[list[Instruction]]:
+    """Greedy scheduling of instructions into parallel layers.
+
+    Instructions land in the earliest layer where none of their qubits
+    are busy.  Noise/annotation entries ride along with the previous
+    layer's constraints (they share their targets' slots).  REPEAT blocks
+    are expanded.
+    """
+    layers: list[list[Instruction]] = []
+    busy_until: dict[int, int] = {}
+    record_layer = 0  # feedback must come after the measurement layer
+    for instruction in circuit.flattened():
+        qubits = [
+            t.qubit if isinstance(t, PauliTarget) else t
+            for t in instruction.targets
+            if isinstance(t, (int, PauliTarget))
+        ]
+        earliest = max((busy_until.get(q, 0) for q in qubits), default=0)
+        if any(isinstance(t, RecTarget) for t in instruction.targets):
+            earliest = max(earliest, record_layer)
+        while len(layers) <= earliest:
+            layers.append([])
+        layers[earliest].append(instruction)
+        for q in qubits:
+            busy_until[q] = earliest + 1
+        if instruction.gate.produces_record:
+            record_layer = earliest + 1
+    return layers
+
+
+def depth(circuit: Circuit) -> int:
+    """Number of parallel layers under greedy scheduling."""
+    return len(moments(circuit))

@@ -1,0 +1,107 @@
+"""Command-line interface: sample, analyze and inspect circuits.
+
+Usage::
+
+    repro sample circuit.stim --shots 1000 [--simulator symbolic|frame]
+    repro detect circuit.stim --shots 1000
+    repro analyze circuit.stim          # symbolic measurement expressions
+    repro stats circuit.stim            # operation counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.core import CompiledSampler, SymPhaseSimulator
+from repro.frame import FrameSimulator
+
+
+def _load(path: str) -> Circuit:
+    with open(path) as handle:
+        return Circuit.from_text(handle.read())
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    rng = np.random.default_rng(args.seed)
+    if args.simulator == "symbolic":
+        sampler = CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
+        records = sampler.sample(args.shots, rng)
+    else:
+        records = FrameSimulator(circuit).sample(args.shots, rng)
+    for row in records:
+        print("".join(map(str, row)))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    rng = np.random.default_rng(args.seed)
+    if args.simulator == "symbolic":
+        sampler = CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
+        detectors, observables = sampler.sample_detectors(args.shots, rng)
+    else:
+        detectors, observables = FrameSimulator(circuit).sample_detectors(
+            args.shots, rng
+        )
+    for det_row, obs_row in zip(detectors, observables):
+        suffix = (" " + "".join(map(str, obs_row))) if obs_row.size else ""
+        print("".join(map(str, det_row)) + suffix)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    sim = SymPhaseSimulator.from_circuit(circuit)
+    print(f"# {sim.num_measurements} measurements, "
+          f"{sim.symbols.n_symbols} symbols")
+    for k in range(sim.num_measurements):
+        print(f"m{k} = {sim.measurement_expression(k)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    stats = circuit.count_operations()
+    print(f"qubits:        {circuit.n_qubits}")
+    for key, value in stats.items():
+        print(f"{key + ':':<14} {value}")
+    print(f"detectors:     {circuit.num_detectors}")
+    print(f"observables:   {circuit.num_observables}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SymPhase-reproduction stabilizer tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, needs_shots in (
+        ("sample", True), ("detect", True), ("analyze", False), ("stats", False)
+    ):
+        p = sub.add_parser(name)
+        p.add_argument("circuit", help="path to a .stim-dialect circuit file")
+        if needs_shots:
+            p.add_argument("--shots", type=int, default=10)
+            p.add_argument("--seed", type=int, default=None)
+            p.add_argument(
+                "--simulator", choices=["symbolic", "frame"], default="symbolic"
+            )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "sample": _cmd_sample,
+        "detect": _cmd_detect,
+        "analyze": _cmd_analyze,
+        "stats": _cmd_stats,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Sampling measurement outcomes as GF(2) matrix multiplication (Eq. 4).
+
+``CompiledSampler`` freezes the outcome of Algorithm 1's Initialization:
+the packed measurement matrix ``M`` (one bit-vector per measurement), the
+detector/observable matrices derived from it, and the symbol table.  Each
+``sample`` call draws the symbol-value matrix ``B`` and evaluates
+``M_samples = M · Bᵀ`` with one of two kernels:
+
+* **dense** — packed parity-of-AND matmul, cost O(n_smp · n_m · n_s / 64);
+* **sparse** — per-measurement XOR of the symbol rows of ``B``
+  (the paper's sparse implementation), cost O(n_smp · nnz(M) / 64).
+
+``strategy="auto"`` picks sparse when the average support is small, which
+is the regime of QEC circuits (each outcome depends on few faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.core.simulator import SymPhaseSimulator
+from repro.gf2 import bitops
+from repro.gf2.matmul import mul_packed_abt, mul_sparse_columns
+from repro.gf2.transpose import transpose_bitmatrix
+
+_SPARSE_SUPPORT_THRESHOLD_FRACTION = 0.125
+
+
+class CompiledSampler:
+    """Reusable sampler for one analyzed circuit."""
+
+    def __init__(self, simulator: SymPhaseSimulator):
+        self.symbols = simulator.symbols
+        self.width = self.symbols.width
+        n_words = bitops.words_for(self.width)
+
+        self.n_measurements = simulator.num_measurements
+        self.measurement_matrix = np.zeros(
+            (self.n_measurements, n_words), dtype=np.uint64
+        )
+        for i, vector in enumerate(simulator.measurements):
+            self.measurement_matrix[i, : vector.size] = vector
+
+        self.detector_matrix = self._combine(simulator.detectors)
+        observable_defs = [
+            simulator.observables[k] for k in sorted(simulator.observables)
+        ]
+        self.observable_matrix = self._combine(observable_defs)
+
+        self._supports: list[np.ndarray] | None = None
+
+    def _combine(self, index_lists) -> np.ndarray:
+        """XOR measurement rows into derived rows (detectors/observables)."""
+        out = np.zeros(
+            (len(index_lists), self.measurement_matrix.shape[1]), dtype=np.uint64
+        )
+        for i, indices in enumerate(index_lists):
+            for index in indices:
+                out[i] ^= self.measurement_matrix[index]
+        return out
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_detectors(self) -> int:
+        return self.detector_matrix.shape[0]
+
+    @property
+    def n_observables(self) -> int:
+        return self.observable_matrix.shape[0]
+
+    def supports(self) -> list[np.ndarray]:
+        """Symbol-index support of every measurement (cached)."""
+        if self._supports is None:
+            dense = bitops.unpack_rows(self.measurement_matrix, self.width)
+            self._supports = [np.nonzero(row)[0] for row in dense]
+        return self._supports
+
+    def average_support(self) -> float:
+        if self.n_measurements == 0:
+            return 0.0
+        return float(np.mean([s.size for s in self.supports()]))
+
+    def choose_strategy(self) -> str:
+        """The auto rule: sparse unless supports are a sizable fraction of n_s."""
+        if self.width <= 64:
+            return "dense"
+        threshold = _SPARSE_SUPPORT_THRESHOLD_FRACTION * self.width
+        return "sparse" if self.average_support() <= threshold else "dense"
+
+    # -- sampling -------------------------------------------------------------
+
+    def draw_symbols(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw the symbol-value matrix B (packed symbol-major).
+
+        Exposed separately because the paper's Table 1 excludes this cost
+        from the algorithm comparison (it is identical for every sampler);
+        pass the result to :meth:`sample` via ``symbol_values`` to time
+        the pure Eq. 4 evaluation.
+        """
+        rng = rng or np.random.default_rng()
+        return self.symbols.sample_symbol_major(shots, rng)
+
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator | None = None,
+        strategy: str = "auto",
+        symbol_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Sample measurement records: uint8 array of shape (shots, n_m)."""
+        return self._sample_rows(
+            self.measurement_matrix, shots, rng, strategy, symbol_values
+        )
+
+    def sample_detectors(
+        self,
+        shots: int,
+        rng: np.random.Generator | None = None,
+        strategy: str = "auto",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample detectors and observables with shared symbol values.
+
+        Returns ``(detectors, observables)`` of shapes
+        ``(shots, n_det)`` and ``(shots, n_obs)``.
+        """
+        rng = rng or np.random.default_rng()
+        stacked = np.concatenate(
+            [self.detector_matrix, self.observable_matrix], axis=0
+        )
+        both = self._sample_rows(stacked, shots, rng, strategy)
+        return both[:, : self.n_detectors], both[:, self.n_detectors:]
+
+    def _sample_rows(
+        self,
+        matrix: np.ndarray,
+        shots: int,
+        rng: np.random.Generator | None,
+        strategy: str,
+        symbol_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        rng = rng or np.random.default_rng()
+        if strategy == "auto":
+            strategy = self.choose_strategy()
+        if symbol_values is None:
+            symbol_values = self.symbols.sample_symbol_major(shots, rng)
+        if strategy == "dense":
+            b_shot_major = transpose_bitmatrix(symbol_values, self.width, shots)
+            return mul_packed_abt(b_shot_major, matrix)
+        if strategy == "sparse":
+            dense_rows = bitops.unpack_rows(matrix, self.width)
+            supports = [np.nonzero(row)[0] for row in dense_rows]
+            packed = mul_sparse_columns(supports, symbol_values)
+            return np.ascontiguousarray(
+                bitops.unpack_rows(
+                    transpose_bitmatrix(packed, matrix.shape[0], shots),
+                    matrix.shape[0],
+                )
+            )
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def compile_sampler(circuit: Circuit) -> CompiledSampler:
+    """Run Algorithm 1's Initialization on ``circuit`` and return the
+    reusable sampler (Algorithm 1's Sampling procedure)."""
+    return CompiledSampler(SymPhaseSimulator.from_circuit(circuit))

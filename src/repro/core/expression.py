@@ -1,0 +1,114 @@
+"""User-facing symbolic expressions over GF(2).
+
+:class:`SymbolicExpression` wraps the packed bit-vectors the simulator
+produces with algebra (XOR, evaluation, substitution) and readable
+rendering.  ``SymPhaseSimulator.expression(k)`` returns one per
+measurement; detectors and observables compose them with ``^``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.symbols import SymbolTable
+from repro.gf2 import bitops
+
+
+class SymbolicExpression:
+    """A GF(2) expression: XOR of bit-symbols plus an optional constant."""
+
+    __slots__ = ("vector", "table")
+
+    def __init__(self, vector: np.ndarray, table: SymbolTable):
+        self.vector = np.asarray(vector, dtype=np.uint64)
+        self.table = table
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def zero(cls, table: SymbolTable) -> "SymbolicExpression":
+        return cls(np.zeros(bitops.words_for(table.width), dtype=np.uint64), table)
+
+    @classmethod
+    def constant_one(cls, table: SymbolTable) -> "SymbolicExpression":
+        out = cls.zero(table)
+        bitops.set_bit(out.vector, 0, 1)
+        return out
+
+    @classmethod
+    def of_symbol(cls, table: SymbolTable, symbol: int) -> "SymbolicExpression":
+        if not 0 <= symbol <= table.n_symbols:
+            raise ValueError(f"symbol index {symbol} out of range")
+        out = cls.zero(table)
+        bitops.set_bit(out.vector, symbol, 1)
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def support(self) -> np.ndarray:
+        """Symbol indices present (index 0 = the constant)."""
+        bits = bitops.unpack_bits(
+            self.vector, min(self.table.width, self.vector.size * 64)
+        )
+        return np.nonzero(bits)[0]
+
+    @property
+    def is_constant(self) -> bool:
+        return bool((self.support <= 0).all())
+
+    @property
+    def constant_part(self) -> int:
+        return bitops.get_bit(self.vector, 0)
+
+    def evaluate(self, assignment: np.ndarray) -> int:
+        """Value under a 0/1 assignment (index 0 must be 1)."""
+        assignment = np.asarray(assignment, dtype=np.uint8) & 1
+        if assignment.size < self.table.width:
+            raise ValueError("assignment too short")
+        if assignment[0] != 1:
+            raise ValueError("assignment[0] is the constant and must be 1")
+        total = 0
+        for symbol in self.support:
+            total ^= int(assignment[symbol])
+        return total
+
+    # -- algebra --------------------------------------------------------------
+
+    def __xor__(self, other: "SymbolicExpression") -> "SymbolicExpression":
+        if other.table is not self.table:
+            raise ValueError("expressions belong to different symbol tables")
+        size = max(self.vector.size, other.vector.size)
+        vector = np.zeros(size, dtype=np.uint64)
+        vector[: self.vector.size] = self.vector
+        vector[: other.vector.size] ^= other.vector
+        return SymbolicExpression(vector, self.table)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicExpression):
+            return NotImplemented
+        return self.table is other.table and np.array_equal(
+            _trimmed(self.vector), _trimmed(other.vector)
+        )
+
+    def __hash__(self) -> int:
+        return hash(_trimmed(self.vector).tobytes())
+
+    def __bool__(self) -> bool:
+        return bool(self.vector.any())
+
+    # -- rendering ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        support = self.support
+        if support.size == 0:
+            return "0"
+        return " ^ ".join(self.table.label(int(s)) for s in support)
+
+    def __repr__(self) -> str:
+        return f"SymbolicExpression({str(self)!r})"
+
+
+def _trimmed(vector: np.ndarray) -> np.ndarray:
+    nz = np.nonzero(vector)[0]
+    return vector[: int(nz[-1]) + 1] if nz.size else vector[:0]

@@ -1,0 +1,78 @@
+"""Growable bit-packed storage for the symbolic phase block.
+
+One row per tableau row; column ``j`` is the coefficient of symbol
+``s_j`` (column 0 = the constant ``s_0``).  This is the ``R̄ | R`` block
+of the paper's Eq. (3), stored packed in uint64 words with amortized
+doubling as the circuit allocates symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2 import bitops
+
+_U64 = np.uint64
+
+
+class PhaseMatrix:
+    """Packed (n_rows x width) GF(2) matrix with cheap row operations."""
+
+    def __init__(self, n_rows: int, initial_words: int = 1):
+        if n_rows < 1:
+            raise ValueError("PhaseMatrix needs at least one row")
+        self.n_rows = n_rows
+        self.words = np.zeros((n_rows, max(initial_words, 1)), dtype=_U64)
+        self.width = 1  # bits in use: the constant column only, initially
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.words.shape[1] * bitops.WORD_BITS
+
+    def ensure_width(self, width: int) -> None:
+        """Grow storage so bit index ``width - 1`` is addressable."""
+        if width > self.capacity_bits:
+            new_words = max(self.words.shape[1] * 2, bitops.words_for(width))
+            grown = np.zeros((self.n_rows, new_words), dtype=_U64)
+            grown[:, : self.words.shape[1]] = self.words
+            self.words = grown
+        self.width = max(self.width, width)
+
+    # -- row updates (all accept an index array of rows) --------------------
+
+    def xor_constant(self, rows: np.ndarray) -> None:
+        """Flip the constant bit of the given rows (a concrete sign flip)."""
+        self.words[rows, 0] ^= _U64(1)
+
+    def xor_symbol(self, rows: np.ndarray, symbol: int) -> None:
+        """XOR symbol ``s_symbol`` into the phases of the given rows."""
+        self.ensure_width(symbol + 1)
+        word, mask = bitops.bit_to_word(symbol)
+        self.words[rows, word] ^= mask
+
+    def xor_rows(self, dst_rows: np.ndarray, src_row: int) -> None:
+        """Phase(dst) ^= Phase(src) for every dst (symbolic rowsum part)."""
+        self.words[dst_rows] ^= self.words[src_row]
+
+    def xor_vector(self, rows: np.ndarray, vector: np.ndarray) -> None:
+        """XOR a packed phase vector into the given rows (symbolic-exponent
+        conditional Pauli — the paper's §6 extension)."""
+        n = vector.shape[0]
+        if n > self.words.shape[1]:
+            self.ensure_width(n * bitops.WORD_BITS)
+        self.words[np.asarray(rows)[:, None], np.arange(n)[None, :]] ^= vector
+
+    def copy_row(self, src: int, dst: int) -> None:
+        self.words[dst] = self.words[src]
+
+    def clear_row(self, row: int) -> None:
+        self.words[row] = 0
+
+    def row_vector(self, row: int) -> np.ndarray:
+        """Packed copy of one row, trimmed to the words covering ``width``."""
+        return self.words[row, : bitops.words_for(self.width)].copy()
+
+    def row_support(self, row: int) -> np.ndarray:
+        """Symbol indices with non-zero coefficient in this row."""
+        bits = bitops.unpack_bits(self.words[row], self.width)
+        return np.nonzero(bits)[0]

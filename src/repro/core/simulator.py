@@ -1,0 +1,325 @@
+"""Algorithm 1: the tableau simulator with symbolic phases.
+
+One forward traversal of the circuit executes the three initialization
+rules of §3.2.2:
+
+* **Init-C** — Clifford gates update the X/Z bit blocks exactly as in
+  Aaronson–Gottesman; deterministic sign flips land in the constant
+  column of the phase matrix.
+* **Init-P** — each Pauli-fault site allocates fresh bit-symbols and
+  XORs them into the phases of the rows the fault anticommutes with.
+* **Init-M** — measurements run A-G's control flow (which never inspects
+  phases — Fact 2); random outcomes mint a fresh fair-coin symbol ``s``
+  and apply ``X^s``, determinate outcomes are read off as the XOR of
+  stabilizer-row phase vectors.
+
+Resets use the paper's §6 extension: a conditional Pauli whose exponent
+is the *symbolic* measurement expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.instructions import Instruction, RecTarget
+from repro.core.phase_matrix import PhaseMatrix
+from repro.core.symbols import SymbolTable
+from repro.gates.database import get_gate
+from repro.gf2 import bitops
+from repro.noise.channels import measurement_group, noise_groups
+from repro.tableau.tableau import g_exponents
+
+_BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}
+_FEEDBACK_LETTER = {"CX": "X", "CY": "Y", "CZ": "Z"}
+
+
+class SymPhaseSimulator:
+    """Builds symbolic measurement expressions in one circuit traversal."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        n = n_qubits
+        self.n = n
+        self.xs = np.zeros((2 * n, n), dtype=np.uint8)
+        self.zs = np.zeros((2 * n, n), dtype=np.uint8)
+        idx = np.arange(n)
+        self.xs[idx, idx] = 1
+        self.zs[n + idx, idx] = 1
+        self.phases = PhaseMatrix(2 * n)
+        self.symbols = SymbolTable()
+        self.measurements: list[np.ndarray] = []  # packed bit-vectors
+        self.detectors: list[np.ndarray] = []  # absolute measurement indices
+        self.observables: dict[int, list[int]] = {}
+
+    # -- public API ------------------------------------------------------
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "SymPhaseSimulator":
+        """Run the Initialization procedure of Algorithm 1 on a circuit."""
+        sim = cls(max(circuit.n_qubits, 1))
+        sim.run(circuit)
+        return sim
+
+    def run(self, circuit: Circuit) -> None:
+        for instruction in circuit.flattened():
+            self.do_instruction(instruction)
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self.measurements)
+
+    def measurement_support(self, index: int) -> np.ndarray:
+        """Symbol indices appearing in measurement ``index``'s expression."""
+        vec = self.measurements[index]
+        bits = bitops.unpack_bits(vec, min(self.symbols.width, vec.size * 64))
+        return np.nonzero(bits)[0]
+
+    def measurement_expression(self, index: int) -> str:
+        """Human-readable symbolic expression, e.g. ``"s3 ^ s5"``."""
+        support = self.measurement_support(index)
+        if support.size == 0:
+            return "0"
+        return " ^ ".join(self.symbols.label(int(s)) for s in support)
+
+    def expression(self, index: int):
+        """Measurement ``index`` as a :class:`SymbolicExpression` object."""
+        from repro.core.expression import SymbolicExpression
+
+        return SymbolicExpression(self.measurements[index].copy(), self.symbols)
+
+    def detector_expression(self, index: int):
+        """Detector ``index`` as a :class:`SymbolicExpression` object."""
+        from repro.core.expression import SymbolicExpression
+
+        out = SymbolicExpression.zero(self.symbols)
+        for measurement in self.detectors[index]:
+            out = out ^ self.expression(int(measurement))
+        return out
+
+    # -- instruction dispatch ------------------------------------------------
+
+    def do_instruction(self, instruction: Instruction) -> None:
+        gate = instruction.gate
+        if gate.is_unitary:
+            if any(isinstance(t, RecTarget) for t in instruction.targets):
+                self._apply_feedback(instruction)
+            else:
+                self._apply_gate(gate.name, instruction.targets)
+        elif gate.kind == "measure":
+            for qubit in instruction.targets:
+                self.measurements.append(self._measure(qubit, gate.basis))
+        elif gate.kind == "reset":
+            for qubit in instruction.targets:
+                self._reset(qubit, gate.basis, record=False)
+        elif gate.kind == "measure_reset":
+            for qubit in instruction.targets:
+                self._reset(qubit, gate.basis, record=True)
+        elif gate.kind == "noise":
+            self._apply_noise(instruction)
+        elif gate.kind == "annotation":
+            self._process_annotation(instruction)
+        else:
+            raise ValueError(f"unhandled instruction kind {gate.kind!r}")
+
+    # -- Init-C: Clifford gates --------------------------------------------
+
+    def _apply_gate(self, name: str, targets: tuple[int, ...]) -> None:
+        table = get_gate(name).table
+        if table.n_qubits == 1:
+            for qubit in targets:
+                x, z = self.xs[:, qubit], self.zs[:, qubit]
+                nx, nz, flip = table.apply_1q(x, z)
+                self.xs[:, qubit] = nx
+                self.zs[:, qubit] = nz
+                flipped = np.nonzero(flip)[0]
+                if flipped.size:
+                    self.phases.xor_constant(flipped)
+        else:
+            for a, b in zip(targets[0::2], targets[1::2]):
+                x1, z1 = self.xs[:, a], self.zs[:, a]
+                x2, z2 = self.xs[:, b], self.zs[:, b]
+                nx1, nz1, nx2, nz2, flip = table.apply_2q(x1, z1, x2, z2)
+                self.xs[:, a] = nx1
+                self.zs[:, a] = nz1
+                self.xs[:, b] = nx2
+                self.zs[:, b] = nz2
+                flipped = np.nonzero(flip)[0]
+                if flipped.size:
+                    self.phases.xor_constant(flipped)
+
+    def _apply_feedback(self, instruction: Instruction) -> None:
+        """Classically-controlled Pauli: ``P^m`` with a *symbolic* exponent.
+
+        This is exactly the paper's §6 extension — the recorded outcome is
+        a bit-vector expression, and the conditional Pauli XORs that whole
+        vector into every anticommuting row's phase.
+        """
+        letter = _FEEDBACK_LETTER[instruction.name]
+        targets = instruction.targets
+        for control, qubit in zip(targets[0::2], targets[1::2]):
+            if isinstance(control, RecTarget):
+                index = len(self.measurements) + control.offset
+                if index < 0:
+                    raise ValueError(
+                        f"feedback lookback {control} reaches before the "
+                        "first measurement"
+                    )
+                vector = self.measurements[index]
+                rows = self._anticommuting_rows(letter, qubit)
+                if rows.size:
+                    self.phases.xor_vector(rows, vector)
+            else:
+                self._apply_gate(instruction.name, (control, qubit))
+
+    # -- Init-P: symbolic Pauli faults ----------------------------------------
+
+    def _anticommuting_rows(self, letter: str, qubit: int) -> np.ndarray:
+        if letter == "X":
+            mask = self.zs[:, qubit]
+        elif letter == "Z":
+            mask = self.xs[:, qubit]
+        elif letter == "Y":
+            mask = self.xs[:, qubit] ^ self.zs[:, qubit]
+        else:
+            raise ValueError(f"invalid Pauli letter {letter!r}")
+        return np.nonzero(mask)[0]
+
+    def apply_symbolic_pauli(self, letter: str, qubit: int, symbol: int) -> None:
+        """Apply ``P^s`` — XOR symbol ``s`` into every anticommuting row."""
+        rows = self._anticommuting_rows(letter, qubit)
+        if rows.size:
+            self.phases.xor_symbol(rows, symbol)
+        else:
+            # Still make the column addressable so sampling stays aligned.
+            self.phases.ensure_width(symbol + 1)
+
+    def _apply_noise(self, instruction: Instruction) -> None:
+        for group in noise_groups(instruction):
+            labels = [
+                "*".join(f"{letter}{qubit}" for letter, qubit in action) or "I"
+                for action in group.actions
+            ]
+            indices = self.symbols.allocate(group, labels)
+            for symbol, action in zip(indices, group.actions):
+                for letter, qubit in action:
+                    self.apply_symbolic_pauli(letter, qubit, symbol)
+
+    # -- Init-M: measurements --------------------------------------------------
+
+    def _rowsum_many(self, rows: np.ndarray, src: int) -> None:
+        """Symbolic rowsum: phases XOR, plus the deterministic g-phase."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        g_sum = g_exponents(
+            self.xs[rows], self.zs[rows], self.xs[src], self.zs[src]
+        ).sum(axis=1, dtype=np.int64)
+        g_mod4 = g_sum % 4
+        if np.any((g_mod4 & 1) & (rows >= self.n)):
+            raise AssertionError("odd i-exponent on a stabilizer row")
+        self.phases.xor_rows(rows, src)
+        const_rows = rows[(g_mod4 >> 1) & 1 == 1]
+        if const_rows.size:
+            self.phases.xor_constant(const_rows)
+        self.xs[rows] ^= self.xs[src]
+        self.zs[rows] ^= self.zs[src]
+
+    def _measure_z(self, qubit: int) -> np.ndarray:
+        """Measure qubit in Z; returns the outcome's packed bit-vector."""
+        n = self.n
+        stab_hits = np.nonzero(self.xs[n:, qubit])[0]
+        if stab_hits.size:
+            p = n + int(stab_hits[0])
+            others = np.nonzero(self.xs[:, qubit])[0]
+            self._rowsum_many(others[others != p], p)
+            self.xs[p - n] = self.xs[p]
+            self.zs[p - n] = self.zs[p]
+            self.phases.copy_row(p, p - n)
+            self.xs[p] = 0
+            self.zs[p] = 0
+            self.zs[p, qubit] = 1
+            self.phases.clear_row(p)
+            label = f"m{len(self.measurements)}(q{qubit})"
+            symbol = self.symbols.allocate(measurement_group(), [label])[0]
+            # The symbolic analogue of A-G's coin flip is r_p := s — only
+            # the freshly collapsed stabilizer row carries the new symbol.
+            # (The paper words this as "apply X^s", but a literal Pauli
+            # would also flip every other row containing Z_qubit, which
+            # contradicts both the paper's own §3.1 tableau and the true
+            # post-measurement state.)
+            self.phases.xor_symbol(np.array([p]), symbol)
+            vector = np.zeros(bitops.words_for(self.symbols.width), dtype=np.uint64)
+            bitops.set_bit(vector, symbol, 1)
+            return vector
+
+        # Determinate outcome: product of the stabilizer rows selected by
+        # the destabilizer X column (A-G), with symbolic phases XORed.
+        hits = np.nonzero(self.xs[:n, qubit])[0] + n
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        vector = np.zeros(self.phases.words.shape[1], dtype=np.uint64)
+        constant = 0
+        for row in hits:
+            g_sum = int(g_exponents(x, z, self.xs[row], self.zs[row]).sum())
+            if g_sum % 2:
+                raise AssertionError("odd i-exponent in determinate product")
+            constant ^= (g_sum % 4) >> 1
+            vector ^= self.phases.words[row]
+            x ^= self.xs[row]
+            z ^= self.zs[row]
+        if constant:
+            vector[0] ^= np.uint64(1)
+        return vector[: bitops.words_for(self.symbols.width)].copy()
+
+    def _measure(self, qubit: int, basis: str) -> np.ndarray:
+        conj = _BASIS_CONJUGATION.get(basis)
+        if conj:
+            self._apply_gate(conj, (qubit,))
+        vector = self._measure_z(qubit)
+        if conj:
+            self._apply_gate(conj, (qubit,))
+        return vector
+
+    def _reset(self, qubit: int, basis: str, record: bool) -> None:
+        """Measure, optionally record, then apply the symbolic-exponent
+        conditional Pauli that forces the +1 eigenstate (§6 extension)."""
+        conj = _BASIS_CONJUGATION.get(basis)
+        if conj:
+            self._apply_gate(conj, (qubit,))
+        vector = self._measure_z(qubit)
+        if record:
+            self.measurements.append(vector)
+        rows = self._anticommuting_rows("X", qubit)
+        if rows.size:
+            self.phases.xor_vector(rows, vector)
+        if conj:
+            self._apply_gate(conj, (qubit,))
+
+    # -- annotations -----------------------------------------------------------
+
+    def _resolve_lookbacks(self, targets: tuple) -> list[int]:
+        resolved = []
+        for target in targets:
+            if not isinstance(target, RecTarget):
+                raise ValueError("detector targets must be rec[-k]")
+            absolute = len(self.measurements) + target.offset
+            if absolute < 0:
+                raise ValueError(
+                    f"lookback {target} reaches before the first measurement"
+                )
+            resolved.append(absolute)
+        return resolved
+
+    def _process_annotation(self, instruction: Instruction) -> None:
+        if instruction.name == "DETECTOR":
+            self.detectors.append(
+                np.array(self._resolve_lookbacks(instruction.targets), dtype=np.int64)
+            )
+        elif instruction.name == "OBSERVABLE_INCLUDE":
+            index = int(instruction.args[0])
+            self.observables.setdefault(index, []).extend(
+                self._resolve_lookbacks(instruction.targets)
+            )
+        # TICK / QUBIT_COORDS / SHIFT_COORDS carry no simulation semantics.

@@ -1,0 +1,19 @@
+"""Decoders over detector error models.
+
+The paper motivates fast sampling with "evaluate the performance of a
+fault-tolerant gadget": draw millions of detector samples, decode them,
+count logical failures.  This package closes that loop:
+
+* :class:`MatchingDecoder` — minimum-weight perfect matching on
+  graphlike DEMs (repetition and surface codes), via shortest paths +
+  NetworkX blossom matching;
+* :class:`LookupDecoder` — maximum-likelihood table decoding for small
+  DEMs (exact up to the enumerated fault weight);
+* :func:`logical_error_rate` — end-to-end: sample, decode, score.
+"""
+
+from repro.decoders.matching import MatchingDecoder
+from repro.decoders.lookup import LookupDecoder
+from repro.decoders.metrics import logical_error_rate
+
+__all__ = ["LookupDecoder", "MatchingDecoder", "logical_error_rate"]

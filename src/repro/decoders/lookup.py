@@ -1,0 +1,64 @@
+"""Maximum-likelihood lookup-table decoder for small DEMs.
+
+Enumerates fault sets up to a weight cap, records for each reachable
+syndrome the most likely observable correction.  Exact (MAP over the
+enumerated sets) for small codes; exponential in the cap, so strictly a
+small-instance tool and a correctness reference for MatchingDecoder.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import numpy as np
+
+from repro.dem.model import DetectorErrorModel
+
+
+class LookupDecoder:
+    """Syndrome -> most-likely-correction table decoder."""
+
+    def __init__(self, dem: DetectorErrorModel, max_weight: int = 2):
+        self.n_detectors = dem.n_detectors
+        self.n_observables = dem.n_observables
+        self.table: dict[bytes, np.ndarray] = {}
+        best_log_prob: dict[bytes, float] = {}
+
+        mechanisms = dem.mechanisms
+        log_probs = [
+            math.log(min(max(m.probability, 1e-15), 1 - 1e-15))
+            for m in mechanisms
+        ]
+        for weight in range(0, max_weight + 1):
+            for combo in combinations(range(len(mechanisms)), weight):
+                syndrome = np.zeros(self.n_detectors, dtype=np.uint8)
+                correction = np.zeros(self.n_observables, dtype=np.uint8)
+                log_prob = 0.0
+                for index in combo:
+                    mech = mechanisms[index]
+                    for d in mech.detectors:
+                        syndrome[d] ^= 1
+                    for o in mech.observables:
+                        correction[o] ^= 1
+                    log_prob += log_probs[index]
+                key = syndrome.tobytes()
+                if log_prob > best_log_prob.get(key, -math.inf):
+                    best_log_prob[key] = log_prob
+                    self.table[key] = correction
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Most likely observable flips; zeros for unknown syndromes."""
+        key = np.asarray(syndrome, dtype=np.uint8).tobytes()
+        correction = self.table.get(key)
+        if correction is None:
+            return np.zeros(self.n_observables, dtype=np.uint8)
+        return correction.copy()
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        syndromes = np.asarray(syndromes, dtype=np.uint8)
+        return np.stack([self.decode(row) for row in syndromes])
+
+    @property
+    def n_syndromes(self) -> int:
+        return len(self.table)

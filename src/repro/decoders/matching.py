@@ -1,0 +1,127 @@
+"""Minimum-weight perfect matching decoder for graphlike DEMs.
+
+Standard construction: every graphlike mechanism is an edge between the
+(at most two) detectors it flips — single-detector mechanisms connect to
+a virtual *boundary* node — weighted ``-log p/(1-p)``, carrying its
+observable mask.  Decoding a syndrome:
+
+1. collect the fired detectors (defects), plus the boundary if the
+   defect count is odd;
+2. build the complete graph on defects with Dijkstra shortest-path
+   distances through the decoding graph;
+3. find a minimum-weight perfect matching (NetworkX blossom on negated
+   weights);
+4. XOR the observable masks along each matched path — that is the
+   predicted logical correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.dem.model import DetectorErrorModel
+
+_BOUNDARY = "boundary"
+
+
+class MatchingDecoder:
+    """MWPM decoder compiled from a graphlike DetectorErrorModel."""
+
+    def __init__(self, dem: DetectorErrorModel):
+        graphlike = dem.filter_graphlike()
+        self.n_detectors = dem.n_detectors
+        self.n_observables = dem.n_observables
+        self.graph = nx.Graph()
+        self.graph.add_node(_BOUNDARY)
+        self.graph.add_nodes_from(range(dem.n_detectors))
+
+        for mechanism in graphlike.mechanisms:
+            if not mechanism.detectors and not mechanism.observables:
+                continue
+            if not mechanism.detectors:
+                # Undetectable logical fault: no edge can represent it;
+                # matching decoders simply cannot correct it.
+                continue
+            p = min(max(mechanism.probability, 1e-15), 1 - 1e-15)
+            weight = -math.log(p / (1 - p))
+            if len(mechanism.detectors) == 1:
+                u, v = mechanism.detectors[0], _BOUNDARY
+            else:
+                u, v = mechanism.detectors
+            mask = _observable_mask(mechanism.observables, self.n_observables)
+            if self.graph.has_edge(u, v):
+                # Keep the lighter (more likely) of parallel edges.
+                if weight < self.graph[u][v]["weight"]:
+                    self.graph[u][v].update(weight=weight, mask=mask)
+            else:
+                self.graph.add_edge(u, v, weight=weight, mask=mask)
+
+        self._path_cache: dict = {}
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Predict the observable flips for one detector sample."""
+        defects = [int(d) for d in np.nonzero(np.asarray(syndrome))[0]]
+        prediction = np.zeros(self.n_observables, dtype=np.uint8)
+        if not defects:
+            return prediction
+        nodes = list(defects)
+        if len(nodes) % 2 == 1:
+            nodes.append(_BOUNDARY)
+
+        complete = nx.Graph()
+        pair_paths = {}
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                distance, path = self._shortest(u, v)
+                if distance == math.inf:
+                    continue
+                pair_paths[(u, v)] = path
+                # max_weight_matching maximizes; negate to minimize.
+                complete.add_edge(u, v, weight=-distance)
+        matching = nx.max_weight_matching(complete, maxcardinality=True)
+
+        for u, v in matching:
+            key = (u, v) if (u, v) in pair_paths else (v, u)
+            path = pair_paths[key]
+            for a, b in zip(path[:-1], path[1:]):
+                prediction ^= self.graph[a][b]["mask"]
+        return prediction
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode many detector samples: shape (shots, n_detectors)."""
+        syndromes = np.asarray(syndromes, dtype=np.uint8)
+        out = np.zeros(
+            (syndromes.shape[0], self.n_observables), dtype=np.uint8
+        )
+        # Identical syndromes decode identically — dedupe for speed.
+        unique, inverse = np.unique(syndromes, axis=0, return_inverse=True)
+        decoded = np.stack([self.decode(row) for row in unique])
+        out[:] = decoded[inverse]
+        return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _shortest(self, u, v):
+        key = (u, v)
+        if key not in self._path_cache:
+            try:
+                distance, path = nx.single_source_dijkstra(
+                    self.graph, u, v, weight="weight"
+                )
+            except nx.NetworkXNoPath:
+                distance, path = math.inf, []
+            self._path_cache[key] = (distance, path)
+            self._path_cache[(v, u)] = (distance, list(reversed(path)))
+        return self._path_cache[key]
+
+
+def _observable_mask(observables: tuple[int, ...], n: int) -> np.ndarray:
+    mask = np.zeros(n, dtype=np.uint8)
+    for o in observables:
+        mask[o] = 1
+    return mask

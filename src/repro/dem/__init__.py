@@ -1,0 +1,15 @@
+"""Detector error models (DEMs), extracted from symbolic phases.
+
+Phase symbolization makes DEM extraction trivial: every noise symbol's
+column in the detector/observable matrices *is* its syndrome signature,
+so a single pass over the symbol table yields, for every fault mechanism
+(every non-identity pattern of every noise group), the set of detectors
+it flips, the logical observables it flips, and its probability.  No
+extra circuit simulation is needed — this is the fault-analysis
+application the paper's introduction motivates.
+"""
+
+from repro.dem.model import DetectorErrorModel, ErrorMechanism
+from repro.dem.extract import extract_dem
+
+__all__ = ["DetectorErrorModel", "ErrorMechanism", "extract_dem"]

@@ -1,0 +1,21 @@
+"""Paper-figure regeneration harness.
+
+Each public function reproduces one table or figure of the paper and
+prints the same rows/series the paper reports (init time and per-batch
+sampling time for the symbolic sampler vs the Pauli-frame baseline).
+Run from the command line::
+
+    python -m repro.experiments fig3a --sizes 20,40,80 --shots 2000
+    python -m repro.experiments table1
+    python -m repro.experiments fig2
+    python -m repro.experiments sparse
+"""
+
+from repro.experiments.harness import (
+    run_fig2,
+    run_fig3,
+    run_sparse,
+    run_table1,
+)
+
+__all__ = ["run_fig2", "run_fig3", "run_sparse", "run_table1"]

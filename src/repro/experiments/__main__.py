@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.experiments <experiment> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import harness
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig3a", "fig3b", "fig3c", "table1", "fig2", "sparse", "all"],
+    )
+    parser.add_argument(
+        "--sizes", type=str, default=None,
+        help="comma-separated qubit counts for fig3 sweeps",
+    )
+    parser.add_argument("--shots", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    sizes = None
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+
+    if args.experiment in ("fig3a", "fig3b", "fig3c"):
+        harness.run_fig3(args.experiment, sizes, args.shots, args.seed)
+    elif args.experiment == "table1":
+        harness.run_table1(seed=args.seed)
+    elif args.experiment == "fig2":
+        harness.run_fig2(seed=args.seed)
+    elif args.experiment == "sparse":
+        harness.run_sparse(shots=args.shots, seed=args.seed)
+    elif args.experiment == "all":
+        for variant in ("fig3a", "fig3b", "fig3c"):
+            harness.run_fig3(variant, sizes, args.shots, args.seed)
+        harness.run_table1(seed=args.seed)
+        harness.run_fig2(seed=args.seed)
+        harness.run_sparse(shots=args.shots, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Small timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+
+def time_call(fn: Callable[[], object], repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time in seconds, plus the last result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [headers] + [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(row[i])) for row in columns) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in columns[1:]:
+        lines.append("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

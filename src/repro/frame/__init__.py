@@ -1,0 +1,12 @@
+"""Pauli-frame baseline sampler (the algorithm Stim uses).
+
+This is the comparison target of the paper's evaluation: sampling
+re-traverses the circuit once per batch, propagating a Pauli *frame*
+(the difference between the noisy state and a noiseless reference run)
+bit-packed across shots.  Its per-batch cost scales with the gate count
+``n_g`` — the term phase symbolization removes.
+"""
+
+from repro.frame.frame_simulator import FrameSimulator
+
+__all__ = ["FrameSimulator"]

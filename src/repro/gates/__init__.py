@@ -1,0 +1,21 @@
+"""Clifford gate database.
+
+Every supported unitary gate is defined once by its dense matrix
+(:mod:`repro.gates.unitaries`); its action on the stabilizer tableau —
+the map ``(x, z) -> (x', z', phase flip)`` per qubit pattern — is derived
+*numerically* from that matrix at first use (:mod:`repro.gates.tables`).
+Nothing on the simulation path is hand-transcribed, so the conjugation
+semantics cannot drift from the unitaries.
+"""
+
+from repro.gates.database import GATE_ALIASES, GATES, GateData, get_gate
+from repro.gates.tables import ConjugationTable, conjugation_table
+
+__all__ = [
+    "GATES",
+    "GATE_ALIASES",
+    "GateData",
+    "get_gate",
+    "ConjugationTable",
+    "conjugation_table",
+]

@@ -1,0 +1,127 @@
+"""Conjugation tables derived numerically from gate unitaries.
+
+For a k-qubit Clifford ``U`` and each of the ``4^k`` Hermitian basis
+Paulis ``P`` (sign +1), ``U P U†`` is again a Hermitian Pauli with a ±1
+sign.  The table records, for each input ``(x, z)`` bit pattern, the
+output bit pattern and the sign flip.  Tableau simulators then apply a
+gate to all rows at once with three fancy-indexing reads.
+
+Index convention (matching the tableau column extraction order):
+
+* 1 qubit:  ``index = 2 x + z``                      (4 entries)
+* 2 qubits: ``index = 8 x1 + 4 z1 + 2 x2 + z2``      (16 entries)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import product
+
+import numpy as np
+
+from repro.pauli.dense import dense_pauli
+from repro.pauli.pauli_string import PauliString
+
+
+@dataclass(frozen=True)
+class ConjugationTable:
+    """Vectorizable conjugation action of one Clifford gate.
+
+    ``outputs`` has shape ``(4^k, 2k)`` — the output (x..., z...) bits per
+    input index — and ``flips`` has shape ``(4^k,)`` with the sign bit.
+    """
+
+    n_qubits: int
+    outputs: np.ndarray
+    flips: np.ndarray
+
+    def apply_1q(
+        self, x: np.ndarray, z: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map column bit-vectors of a tableau through a 1-qubit gate."""
+        idx = (x << 1) | z
+        out = self.outputs[idx]
+        return out[:, 0], out[:, 1], self.flips[idx]
+
+    def apply_2q(
+        self,
+        x1: np.ndarray,
+        z1: np.ndarray,
+        x2: np.ndarray,
+        z2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Map column bit-vectors of a tableau through a 2-qubit gate."""
+        idx = (x1 << 3) | (z1 << 2) | (x2 << 1) | z2
+        out = self.outputs[idx]
+        return out[:, 0], out[:, 1], out[:, 2], out[:, 3], self.flips[idx]
+
+    def symplectic_matrix(self) -> np.ndarray:
+        """The phase-free linear action on (x1, z1, x2, z2, ...) bits.
+
+        Column ``j`` is the image of the ``j``-th symplectic basis vector;
+        entry ``(i, j)`` says whether output bit ``i`` picks up input bit
+        ``j``.  Pauli-frame propagation uses exactly this matrix (frame
+        signs are irrelevant to measurement flips).
+        """
+        dim = 2 * self.n_qubits
+        matrix = np.zeros((dim, dim), dtype=np.uint8)
+        for j in range(dim):
+            index = 1 << (dim - 1 - j)  # basis vector with input bit j set
+            matrix[:, j] = self.outputs[index]
+        return matrix
+
+
+def _hermitian_pauli(xs: tuple[int, ...], zs: tuple[int, ...]) -> PauliString:
+    """The +1-sign Hermitian Pauli with the given bit pattern."""
+    y_count = sum(x & z for x, z in zip(xs, zs))
+    return PauliString(
+        np.array(xs, dtype=np.uint8), np.array(zs, dtype=np.uint8), y_count
+    )
+
+
+def _decompose_pauli(matrix: np.ndarray, n_qubits: int) -> tuple[tuple, tuple, int]:
+    """Recognize a dense matrix as ±(Hermitian Pauli); return (xs, zs, flip)."""
+    for xs in product((0, 1), repeat=n_qubits):
+        for zs in product((0, 1), repeat=n_qubits):
+            candidate = dense_pauli(_hermitian_pauli(xs, zs))
+            if np.allclose(matrix, candidate, atol=1e-9):
+                return xs, zs, 0
+            if np.allclose(matrix, -candidate, atol=1e-9):
+                return xs, zs, 1
+    raise ValueError("matrix is not a Hermitian Pauli string — gate is not Clifford")
+
+
+@lru_cache(maxsize=None)
+def _table_from_key(name: str) -> ConjugationTable:
+    from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
+
+    if name in UNITARIES_1Q:
+        unitary, n_qubits = UNITARIES_1Q[name], 1
+    elif name in UNITARIES_2Q:
+        unitary, n_qubits = UNITARIES_2Q[name], 2
+    else:
+        raise KeyError(f"unknown unitary gate {name!r}")
+
+    n_entries = 4**n_qubits
+    outputs = np.zeros((n_entries, 2 * n_qubits), dtype=np.uint8)
+    flips = np.zeros(n_entries, dtype=np.uint8)
+    u_dag = unitary.conj().T
+    for bits in product((0, 1), repeat=2 * n_qubits):
+        # bits are ordered (x1, z1, x2, z2, ...), matching the index rule.
+        xs = bits[0::2]
+        zs = bits[1::2]
+        index = 0
+        for b in bits:
+            index = (index << 1) | b
+        conjugated = unitary @ dense_pauli(_hermitian_pauli(xs, zs)) @ u_dag
+        out_xs, out_zs, flip = _decompose_pauli(conjugated, n_qubits)
+        interleaved = [v for pair in zip(out_xs, out_zs) for v in pair]
+        outputs[index] = interleaved
+        flips[index] = flip
+    return ConjugationTable(n_qubits, outputs, flips)
+
+
+def conjugation_table(name: str) -> ConjugationTable:
+    """The conjugation table for a named unitary gate (cached)."""
+    return _table_from_key(name)

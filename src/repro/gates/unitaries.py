@@ -1,0 +1,90 @@
+"""Dense unitaries for the supported Clifford gate set.
+
+Single-qubit names follow Stim's dialect where one exists.  Two-qubit
+controlled gates use the convention "first target is the control"; the
+``XC*``/``YC*`` variants control on the X/Y basis, matching Stim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+_SQRT_X = np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex) / 2
+_SQRT_Y = np.array([[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]], dtype=complex) / 2
+_H_XY = np.array([[0, 1 - 1j], [1 + 1j, 0]], dtype=complex) / np.sqrt(2)
+_H_YZ = np.array([[1, -1j], [1j, -1]], dtype=complex) / np.sqrt(2)
+# Cyclic permutations X -> Y -> Z -> X (C_XYZ) and its inverse.
+_C_XYZ = np.array([[1 - 1j, -1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex) / 2
+_C_ZYX = _C_XYZ.conj().T
+
+
+def _controlled(control_eigh: np.ndarray, applied: np.ndarray) -> np.ndarray:
+    """Gate applying ``applied`` to the target when the control qubit is in
+    the -1 eigenspace of ``control_eigh``."""
+    proj_plus = (np.eye(2) + control_eigh) / 2
+    proj_minus = (np.eye(2) - control_eigh) / 2
+    return np.kron(proj_plus, _I) + np.kron(proj_minus, applied)
+
+
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _sqrt_pp(pauli_a: np.ndarray, pauli_b: np.ndarray, sign: int = 1) -> np.ndarray:
+    """(I ± i P(x)Q)/sqrt(2) — the SQRT_XX / SQRT_YY / SQRT_ZZ family."""
+    kron = np.kron(pauli_a, pauli_b)
+    return (np.eye(4, dtype=complex) + sign * 1j * kron) / np.sqrt(2)
+
+
+UNITARIES_1Q: dict[str, np.ndarray] = {
+    "I": _I,
+    "X": _X,
+    "Y": _Y,
+    "Z": _Z,
+    "H": _H,
+    "S": _S,
+    "S_DAG": _S.conj().T,
+    "SQRT_X": _SQRT_X,
+    "SQRT_X_DAG": _SQRT_X.conj().T,
+    "SQRT_Y": _SQRT_Y,
+    "SQRT_Y_DAG": _SQRT_Y.conj().T,
+    "SQRT_Z": _S,
+    "SQRT_Z_DAG": _S.conj().T,
+    "H_XY": _H_XY,
+    "H_XZ": _H,
+    "H_YZ": _H_YZ,
+    "C_XYZ": _C_XYZ,
+    "C_ZYX": _C_ZYX,
+}
+
+UNITARIES_2Q: dict[str, np.ndarray] = {
+    "CX": _controlled(_Z, _X),
+    "CY": _controlled(_Z, _Y),
+    "CZ": _controlled(_Z, _Z),
+    "XCX": _controlled(_X, _X),
+    "XCY": _controlled(_X, _Y),
+    "XCZ": _controlled(_X, _Z),
+    "YCX": _controlled(_Y, _X),
+    "YCY": _controlled(_Y, _Y),
+    "YCZ": _controlled(_Y, _Z),
+    "SWAP": _SWAP,
+    "ISWAP": _ISWAP,
+    "ISWAP_DAG": _ISWAP.conj().T,
+    "SQRT_XX": _sqrt_pp(_X, _X, +1),
+    "SQRT_XX_DAG": _sqrt_pp(_X, _X, -1),
+    "SQRT_YY": _sqrt_pp(_Y, _Y, +1),
+    "SQRT_YY_DAG": _sqrt_pp(_Y, _Y, -1),
+    "SQRT_ZZ": _sqrt_pp(_Z, _Z, +1),
+    "SQRT_ZZ_DAG": _sqrt_pp(_Z, _Z, -1),
+}

@@ -1,0 +1,72 @@
+"""GF(2) linear algebra substrate.
+
+Bit-packed (uint64) vectors and matrices over the two-element field,
+plus the dense (uint8) elimination routines used for rank/solve.
+
+This package is the computational foundation of the SymPhase
+reproduction: symbolic phases are GF(2) bit-vectors, sampling is a GF(2)
+matrix product, and the data-layout experiments (paper Fig. 2) operate on
+packed bit-matrices.
+"""
+
+from repro.gf2.bitops import (
+    WORD_BITS,
+    bit_to_word,
+    get_bit,
+    get_column,
+    pack_bits,
+    pack_rows,
+    parity_words,
+    popcount,
+    random_packed,
+    set_bit,
+    unpack_bits,
+    unpack_rows,
+    words_for,
+    xor_bit,
+)
+from repro.gf2.bitmat import BitMatrix
+from repro.gf2.matmul import (
+    mul_dense,
+    mul_packed_abt,
+    mul_sparse_columns,
+)
+from repro.gf2.linalg import (
+    inverse,
+    nullspace,
+    rank,
+    rref,
+    solve,
+)
+from repro.gf2.transpose import (
+    transpose_bitmatrix,
+    transpose_words_64,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "BitMatrix",
+    "bit_to_word",
+    "get_bit",
+    "get_column",
+    "inverse",
+    "mul_dense",
+    "mul_packed_abt",
+    "mul_sparse_columns",
+    "nullspace",
+    "pack_bits",
+    "pack_rows",
+    "parity_words",
+    "popcount",
+    "random_packed",
+    "rank",
+    "rref",
+    "set_bit",
+    "solve",
+    "transpose_bitmatrix",
+    "transpose_words_64",
+    "unpack_bits",
+    "unpack_rows",
+    "words_for",
+    "xor_bit",
+]

@@ -1,0 +1,137 @@
+"""A bit-packed GF(2) matrix with row- and column-level operations.
+
+``BitMatrix`` is the storage object shared by the data-layout experiments
+(paper §4) and by tests.  Rows are contiguous uint64 words, which makes
+*row* operations (measurement-style) fast; *column* operations
+(gate-style) go through masked word updates.  The layout subpackage
+builds the tiled variants on top of the same primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2 import bitops
+from repro.gf2.transpose import transpose_bitmatrix
+
+_U64 = np.uint64
+
+
+class BitMatrix:
+    """Dense GF(2) matrix stored as packed uint64 words, row-major."""
+
+    def __init__(self, n_rows: int, n_cols: int, words: np.ndarray | None = None):
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        n_words = bitops.words_for(n_cols)
+        if words is None:
+            self.words = np.zeros((n_rows, n_words), dtype=_U64)
+        else:
+            if words.shape != (n_rows, n_words):
+                raise ValueError(
+                    f"words shape {words.shape} != ({n_rows}, {n_words})"
+                )
+            self.words = np.ascontiguousarray(words, dtype=_U64)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, bits: np.ndarray) -> "BitMatrix":
+        """Build from an unpacked 0/1 matrix."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = cls(bits.shape[0], bits.shape[1], bitops.pack_rows(bits))
+        return out
+
+    @classmethod
+    def identity(cls, n: int) -> "BitMatrix":
+        """The n x n identity matrix."""
+        out = cls(n, n)
+        for i in range(n):
+            out[i, i] = 1
+        return out
+
+    @classmethod
+    def random(
+        cls, n_rows: int, n_cols: int, rng: np.random.Generator
+    ) -> "BitMatrix":
+        """Uniformly random bits."""
+        words = bitops.random_packed(
+            (n_rows, bitops.words_for(n_cols)), n_cols, rng
+        )
+        return cls(n_rows, n_cols, words)
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack into a uint8 0/1 matrix."""
+        if self.n_rows == 0:
+            return np.zeros((0, self.n_cols), dtype=np.uint8)
+        return bitops.unpack_rows(self.words, self.n_cols)
+
+    def copy(self) -> "BitMatrix":
+        return BitMatrix(self.n_rows, self.n_cols, self.words.copy())
+
+    # -- element access ------------------------------------------------
+
+    def __getitem__(self, key: tuple[int, int]) -> int:
+        row, col = key
+        return bitops.get_bit(self.words[row], col)
+
+    def __setitem__(self, key: tuple[int, int], value: int) -> None:
+        row, col = key
+        bitops.set_bit(self.words[row], col, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return (
+            self.n_rows == other.n_rows
+            and self.n_cols == other.n_cols
+            and bool(np.array_equal(self.words, other.words))
+        )
+
+    def __repr__(self) -> str:
+        return f"BitMatrix({self.n_rows}x{self.n_cols})"
+
+    # -- row operations (measurement-style) -----------------------------
+
+    def xor_row_into(self, src: int, dst: int) -> None:
+        """Row ``dst`` ^= row ``src``."""
+        self.words[dst] ^= self.words[src]
+
+    def swap_rows(self, a: int, b: int) -> None:
+        self.words[[a, b]] = self.words[[b, a]]
+
+    def row(self, index: int) -> np.ndarray:
+        """Packed view of one row (shared memory)."""
+        return self.words[index]
+
+    # -- column operations (gate-style) ---------------------------------
+
+    def get_column(self, col: int) -> np.ndarray:
+        """Column ``col`` as an unpacked uint8 vector."""
+        return bitops.get_column(self.words, col)
+
+    def xor_column_into(self, src: int, dst: int) -> None:
+        """Column ``dst`` ^= column ``src`` (a CNOT-style update)."""
+        ws, ms = bitops.bit_to_word(src)
+        wd, md = bitops.bit_to_word(dst)
+        src_bits = (self.words[:, ws] & ms) != 0
+        self.words[src_bits, wd] ^= md
+
+    def swap_columns(self, a: int, b: int) -> None:
+        """Swap two bit-columns (an H-style / SWAP-style update)."""
+        wa, ma = bitops.bit_to_word(a)
+        wb, mb = bitops.bit_to_word(b)
+        bits_a = (self.words[:, wa] & ma) != 0
+        bits_b = (self.words[:, wb] & mb) != 0
+        diff = bits_a != bits_b
+        self.words[diff, wa] ^= ma
+        self.words[diff, wb] ^= mb
+
+    # -- whole-matrix operations ----------------------------------------
+
+    def transpose(self) -> "BitMatrix":
+        """Bit-level transpose (uses the 64x64 block kernel)."""
+        words = transpose_bitmatrix(self.words, self.n_rows, self.n_cols)
+        return BitMatrix(self.n_cols, self.n_rows, words)

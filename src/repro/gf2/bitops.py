@@ -1,0 +1,139 @@
+"""Primitive operations on bit-packed uint64 vectors.
+
+Conventions
+-----------
+A *packed vector* of ``n`` bits is a ``numpy`` array of dtype ``uint64``
+with ``words_for(n)`` entries.  Bit ``i`` lives in word ``i // 64`` at bit
+position ``i % 64`` (little-endian bit order, matching
+``np.packbits(..., bitorder="little")`` viewed as little-endian words).
+
+A *packed matrix* is a 2-D ``uint64`` array whose rows are packed vectors;
+row ``r``, column ``c`` is bit ``c`` of row ``r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+_U64 = np.uint64
+_ONE = _U64(1)
+
+
+def words_for(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def bit_to_word(index: int) -> tuple[int, np.uint64]:
+    """Map a bit index to ``(word_index, single-bit mask)``."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return index // WORD_BITS, _ONE << _U64(index % WORD_BITS)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-D array of 0/1 values into a packed vector."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("pack_bits expects a 1-D array")
+    n_words = words_for(bits.size)
+    padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    padded[: bits.size] = bits & 1
+    return np.packbits(padded, bitorder="little").view(_U64)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack a packed vector back into a uint8 0/1 array of length ``n_bits``."""
+    words = np.ascontiguousarray(words, dtype=_U64)
+    raw = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return raw[:n_bits]
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a 2-D array of 0/1 values row-wise into a packed matrix."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError("pack_rows expects a 2-D array")
+    n_rows, n_cols = bits.shape
+    n_words = words_for(n_cols)
+    padded = np.zeros((n_rows, n_words * WORD_BITS), dtype=np.uint8)
+    padded[:, :n_cols] = bits & 1
+    return np.packbits(padded, axis=1, bitorder="little").view(_U64)
+
+
+def unpack_rows(words: np.ndarray, n_cols: int) -> np.ndarray:
+    """Unpack a packed matrix into a uint8 0/1 matrix with ``n_cols`` columns."""
+    words = np.ascontiguousarray(words, dtype=_U64)
+    if words.ndim != 2:
+        raise ValueError("unpack_rows expects a 2-D packed matrix")
+    raw = np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")
+    return raw[:, :n_cols]
+
+
+def get_bit(words: np.ndarray, index: int) -> int:
+    """Read bit ``index`` of a packed vector."""
+    w, mask = bit_to_word(index)
+    return int((words[w] & mask) != 0)
+
+
+def set_bit(words: np.ndarray, index: int, value: int) -> None:
+    """Write bit ``index`` of a packed vector in place."""
+    w, mask = bit_to_word(index)
+    if value:
+        words[w] |= mask
+    else:
+        words[w] &= ~mask
+
+
+def xor_bit(words: np.ndarray, index: int, value: int = 1) -> None:
+    """XOR ``value`` into bit ``index`` of a packed vector in place."""
+    if value:
+        w, mask = bit_to_word(index)
+        words[w] ^= mask
+
+
+def get_column(matrix: np.ndarray, col: int) -> np.ndarray:
+    """Extract column ``col`` of a packed matrix as a uint8 0/1 vector."""
+    w, mask = bit_to_word(col)
+    return ((matrix[:, w] & mask) != 0).astype(np.uint8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-word population count."""
+    return np.bitwise_count(words)
+
+
+def parity_words(words: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Overall GF(2) parity of the set bits (optionally along ``axis``)."""
+    counts = np.bitwise_count(np.asarray(words, dtype=_U64))
+    total = counts.sum(axis=axis, dtype=np.int64)
+    return (total & 1).astype(np.uint8)
+
+
+def random_packed(
+    shape: tuple[int, int],
+    n_bits: int,
+    rng: np.random.Generator,
+    p: float = 0.5,
+) -> np.ndarray:
+    """Random packed matrix: ``shape[0]`` rows of ``n_bits`` Bernoulli(p) bits.
+
+    ``shape[1]`` must equal ``words_for(n_bits)``; bits beyond ``n_bits``
+    are zero so that parity/popcount never see garbage padding.
+    """
+    n_rows, n_words = shape
+    if n_words != words_for(n_bits):
+        raise ValueError("word count does not match n_bits")
+    if p == 0.5:
+        out = rng.integers(0, 2**64, size=(n_rows, n_words), dtype=np.uint64)
+    else:
+        bits = (rng.random((n_rows, n_words * WORD_BITS)) < p).astype(np.uint8)
+        return pack_rows(bits[:, :n_bits]) if n_bits else bits[:, :0].view(_U64)
+    tail = n_bits % WORD_BITS
+    if tail and n_words:
+        out[:, -1] &= (_ONE << _U64(tail)) - _ONE
+    return out

@@ -1,0 +1,94 @@
+"""Dense GF(2) elimination: RREF, rank, solve, nullspace, inverse.
+
+These run on small unpacked uint8 matrices (symbol-table sized, not
+tableau sized) and favour clarity over raw speed.  They back the fault
+analysis example and several test oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row echelon form over GF(2).
+
+    Returns ``(rref_matrix, pivot_columns)``; the input is not modified.
+    """
+    m = (np.asarray(matrix, dtype=np.uint8) & 1).copy()
+    if m.ndim != 2:
+        raise ValueError("rref expects a 2-D matrix")
+    n_rows, n_cols = m.shape
+    pivots: list[int] = []
+    row = 0
+    for col in range(n_cols):
+        if row >= n_rows:
+            break
+        candidates = np.nonzero(m[row:, col])[0]
+        if candidates.size == 0:
+            continue
+        pivot = row + int(candidates[0])
+        if pivot != row:
+            m[[row, pivot]] = m[[pivot, row]]
+        others = np.nonzero(m[:, col])[0]
+        others = others[others != row]
+        m[others] ^= m[row]
+        pivots.append(col)
+        row += 1
+    return m, pivots
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of a GF(2) matrix."""
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """One solution ``x`` of ``matrix @ x = rhs`` over GF(2), or ``None``.
+
+    Free variables are set to zero.
+    """
+    a = np.asarray(matrix, dtype=np.uint8) & 1
+    b = np.asarray(rhs, dtype=np.uint8) & 1
+    if b.ndim != 1 or b.size != a.shape[0]:
+        raise ValueError("rhs length must equal the number of rows")
+    augmented = np.concatenate([a, b[:, None]], axis=1)
+    reduced, pivots = rref(augmented)
+    n_cols = a.shape[1]
+    if n_cols in pivots:
+        return None  # A pivot in the RHS column means the system is inconsistent.
+    x = np.zeros(n_cols, dtype=np.uint8)
+    for row, col in enumerate(pivots):
+        x[col] = reduced[row, n_cols]
+    return x
+
+
+def nullspace(matrix: np.ndarray) -> np.ndarray:
+    """Basis of the right nullspace, one vector per row (possibly empty)."""
+    a = np.asarray(matrix, dtype=np.uint8) & 1
+    reduced, pivots = rref(a)
+    n_cols = a.shape[1]
+    free = [c for c in range(n_cols) if c not in pivots]
+    basis = np.zeros((len(free), n_cols), dtype=np.uint8)
+    for i, fc in enumerate(free):
+        basis[i, fc] = 1
+        for row, pc in enumerate(pivots):
+            basis[i, pc] = reduced[row, fc]
+    return basis
+
+
+def inverse(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a square invertible GF(2) matrix.
+
+    Raises ``np.linalg.LinAlgError`` if the matrix is singular.
+    """
+    a = np.asarray(matrix, dtype=np.uint8) & 1
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("inverse expects a square matrix")
+    augmented = np.concatenate([a, np.eye(n, dtype=np.uint8)], axis=1)
+    reduced, pivots = rref(augmented)
+    if pivots != list(range(n)):
+        raise np.linalg.LinAlgError("matrix is singular over GF(2)")
+    return reduced[:, n:]

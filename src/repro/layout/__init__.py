@@ -1,0 +1,24 @@
+"""Data layouts for the stabilizer tableau bit-matrix (paper §4, Fig. 2).
+
+Three layouts of an N x N bit-matrix, differing in which operations hit
+contiguous memory:
+
+* :class:`RowMajorLayout` — chp.c's layout: rows contiguous; row
+  operations (measurements) are fast, column operations (gates) strided.
+* :class:`TiledLayout` with ``tile=8`` — Stim-like: small square tiles so
+  both access patterns are acceptably local; whole-matrix transposes
+  swap tiles and transpose each one.
+* :class:`TiledLayout` with ``tile=512`` — the paper's layout: large
+  blocks kept column-major for gate ops, with *local* (block-level)
+  transposition before a burst of measurements instead of a full
+  transpose.
+"""
+
+from repro.layout.layouts import (
+    LayoutBase,
+    RowMajorLayout,
+    TiledLayout,
+    make_layout,
+)
+
+__all__ = ["LayoutBase", "RowMajorLayout", "TiledLayout", "make_layout"]

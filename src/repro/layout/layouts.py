@@ -1,0 +1,186 @@
+"""Bit-matrix layout strategies and their operation costs.
+
+All layouts expose the same logical interface over an N x N bit-matrix:
+``column_xor`` (the inner loop of tableau *gate* updates), ``row_xor``
+(the inner loop of tableau *measurement* updates), and ``set_mode`` to
+switch between gate-optimized and measurement-optimized storage.  The
+benchmark for the paper's Fig. 2 / §4 measures these per layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2 import bitops
+from repro.gf2.transpose import transpose_bitmatrix
+
+_U64 = np.uint64
+
+
+class LayoutBase:
+    """Common logical interface; subclasses define the storage."""
+
+    name = "abstract"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("matrix size must be positive")
+        self.n = n
+
+    # The two access patterns of tableau simulation:
+    def column_xor(self, src: int, dst: int) -> None:
+        raise NotImplementedError
+
+    def row_xor(self, src: int, dst: int) -> None:
+        raise NotImplementedError
+
+    def set_mode(self, mode: str) -> None:
+        """Prepare storage for a burst of "gate" or "measure" operations."""
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def load_dense(self, bits: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator, **kwargs) -> "LayoutBase":
+        layout = cls(n, **kwargs) if kwargs else cls(n)
+        layout.load_dense((rng.random((n, n)) < 0.5).astype(np.uint8))
+        return layout
+
+
+class RowMajorLayout(LayoutBase):
+    """chp.c's layout (Fig. 2a): rows packed contiguously.
+
+    Row operations XOR whole word rows; column operations are masked
+    updates down a word column (strided memory).  No mode switches.
+    """
+
+    name = "row_major"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self.words = np.zeros((n, bitops.words_for(n)), dtype=_U64)
+
+    def column_xor(self, src: int, dst: int) -> None:
+        ws, ms = bitops.bit_to_word(src)
+        wd, md = bitops.bit_to_word(dst)
+        src_bits = (self.words[:, ws] & ms) != 0
+        self.words[src_bits, wd] ^= md
+
+    def row_xor(self, src: int, dst: int) -> None:
+        self.words[dst] ^= self.words[src]
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in ("gate", "measure"):
+            raise ValueError(f"unknown mode {mode!r}")
+        # Row-major storage never reorganizes.
+
+    def to_dense(self) -> np.ndarray:
+        return bitops.unpack_rows(self.words, self.n)
+
+    def load_dense(self, bits: np.ndarray) -> None:
+        self.words = bitops.pack_rows(np.asarray(bits, dtype=np.uint8))
+
+
+class TiledLayout(LayoutBase):
+    """Square-tiled layout (Fig. 2b with tile=8, Fig. 2d with tile=512).
+
+    The matrix is cut into ``tile x tile`` bit blocks.  In **gate** mode
+    every block is stored transposed, making logical columns contiguous;
+    in **measure** mode blocks are stored straight, making logical rows
+    contiguous within each block.  Mode switches are *local* block
+    transpositions — never a global transpose (the paper's §4 trick).
+    """
+
+    name = "tiled"
+
+    def __init__(self, n: int, tile: int = 512):
+        super().__init__(n)
+        if tile % 64 != 0:
+            raise ValueError("tile size must be a multiple of 64")
+        self.tile = tile
+        self.n_blocks = (n + tile - 1) // tile
+        words_per_row = tile // 64
+        self.blocks = np.zeros(
+            (self.n_blocks, self.n_blocks, tile, words_per_row), dtype=_U64
+        )
+        self.mode = "measure"
+
+    # -- mode switching ------------------------------------------------
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in ("gate", "measure"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == self.mode:
+            return
+        for bi in range(self.n_blocks):
+            for bj in range(self.n_blocks):
+                self.blocks[bi, bj] = transpose_bitmatrix(
+                    self.blocks[bi, bj], self.tile, self.tile
+                )
+        self.mode = mode
+
+    # -- operations -------------------------------------------------------
+
+    def column_xor(self, src: int, dst: int) -> None:
+        if self.mode != "gate":
+            raise RuntimeError("column_xor requires gate mode")
+        bs, ls = divmod(src, self.tile)
+        bd, ld = divmod(dst, self.tile)
+        # Stored transposed: logical column c is stored row c_local in
+        # every block of block-column c // tile.
+        self.blocks[:, bd, ld] ^= self.blocks[:, bs, ls]
+
+    def row_xor(self, src: int, dst: int) -> None:
+        if self.mode != "measure":
+            raise RuntimeError("row_xor requires measure mode")
+        bs, ls = divmod(src, self.tile)
+        bd, ld = divmod(dst, self.tile)
+        self.blocks[bd, :, ld] ^= self.blocks[bs, :, ls]
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        was_gate = self.mode == "gate"
+        if was_gate:
+            self.set_mode("measure")
+        size = self.n_blocks * self.tile
+        dense = np.zeros((size, size), dtype=np.uint8)
+        for bi in range(self.n_blocks):
+            rows = bitops.unpack_rows(
+                self.blocks[bi].transpose(1, 0, 2).reshape(self.tile, -1),
+                self.n_blocks * self.tile,
+            )
+            dense[bi * self.tile: (bi + 1) * self.tile] = rows
+        if was_gate:
+            self.set_mode("gate")
+        return dense[: self.n, : self.n]
+
+    def load_dense(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=np.uint8)
+        size = self.n_blocks * self.tile
+        padded = np.zeros((size, size), dtype=np.uint8)
+        padded[: self.n, : self.n] = bits
+        packed = bitops.pack_rows(padded)  # (size, size // 64)
+        words_per_row = self.tile // 64
+        for bi in range(self.n_blocks):
+            for bj in range(self.n_blocks):
+                self.blocks[bi, bj] = packed[
+                    bi * self.tile: (bi + 1) * self.tile,
+                    bj * words_per_row: (bj + 1) * words_per_row,
+                ]
+        self.mode = "measure"
+
+
+def make_layout(kind: str, n: int) -> LayoutBase:
+    """Factory for the three layouts the paper compares."""
+    if kind == "chp":
+        return RowMajorLayout(n)
+    if kind == "stim8":
+        return TiledLayout(n, tile=64)  # smallest tile our word size allows
+    if kind == "symphase512":
+        return TiledLayout(n, tile=512)
+    raise ValueError(f"unknown layout kind {kind!r}")

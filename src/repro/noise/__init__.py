@@ -1,0 +1,18 @@
+"""Pauli noise channels.
+
+Every channel is normalized into a :class:`SymbolGroup`: ``k`` bit-symbols
+with X/Z Pauli actions and one categorical distribution over the ``2^k``
+joint bit patterns — exactly the encoding §3.1 of the paper prescribes
+(e.g. DEPOLARIZE1 -> ``X^{s1} Z^{s2}`` with pattern probabilities
+``(1-p, p/3, p/3, p/3)``).  The symbolic simulator allocates the symbols;
+the concrete simulators sample patterns directly.
+"""
+
+from repro.noise.channels import (
+    SymbolGroup,
+    measurement_group,
+    noise_groups,
+    pattern_bits,
+)
+
+__all__ = ["SymbolGroup", "measurement_group", "noise_groups", "pattern_bits"]

@@ -1,0 +1,178 @@
+"""Normalization of noise instructions into symbol groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.instructions import Instruction, PauliTarget
+
+# Pauli letter -> (x bit, z bit)
+_LETTER_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+
+# Stim's argument order for PAULI_CHANNEL_1 / PAULI_CHANNEL_2.
+_PC1_ORDER = ("X", "Y", "Z")
+_PC2_ORDER = (
+    "IX", "IY", "IZ",
+    "XI", "XX", "XY", "XZ",
+    "YI", "YX", "YY", "YZ",
+    "ZI", "ZX", "ZY", "ZZ",
+)
+
+
+@dataclass(frozen=True)
+class SymbolGroup:
+    """``k`` jointly-distributed bit-symbols and their Pauli actions.
+
+    ``actions[j]`` lists the ``(pauli_letter, qubit)`` pairs applied when
+    symbol ``j`` has value 1.  ``probabilities[pattern]`` is the joint
+    probability of the bit pattern whose ``j``-th bit (LSB first) is the
+    value of symbol ``j``.
+    """
+
+    actions: tuple[tuple[tuple[str, int], ...], ...]
+    probabilities: tuple[float, ...]
+    kind: str  # "noise" or "measurement"
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self.actions)
+
+    def sample_patterns(
+        self, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n_samples`` joint bit patterns (integers in [0, 2^k))."""
+        return sample_patterns_batch(self.probabilities, (n_samples,), rng)
+
+
+def sample_patterns_batch(
+    probabilities: tuple[float, ...] | np.ndarray,
+    size: tuple[int, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw categorical samples by thresholding uniform floats.
+
+    For the small outcome counts of Pauli channels (<= 16) this beats
+    ``Generator.choice`` with a probability vector by a wide margin: one
+    uniform draw plus ``len(probabilities) - 1`` vectorized comparisons.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    thresholds = np.cumsum(probs / probs.sum())[:-1]
+    uniforms = rng.random(size)
+    patterns = np.zeros(size, dtype=np.uint8)  # <= 16 outcomes fit easily
+    for threshold in thresholds:
+        patterns += uniforms >= threshold
+    return patterns
+
+
+def pattern_bits(patterns: np.ndarray, symbol: int) -> np.ndarray:
+    """Extract one symbol's bit from an array of joint patterns."""
+    return ((patterns >> symbol) & 1).astype(np.uint8)
+
+
+def measurement_group() -> SymbolGroup:
+    """The fair-coin group behind one random measurement outcome."""
+    return SymbolGroup(actions=((),), probabilities=(0.5, 0.5), kind="measurement")
+
+
+def _two_symbol_xz(qubit: int) -> tuple[tuple[tuple[str, int], ...], ...]:
+    return ((("X", qubit),), (("Z", qubit),))
+
+
+def _single_qubit_group(
+    qubit: int, px: float, py: float, pz: float
+) -> SymbolGroup:
+    """General 1-qubit Pauli channel as X^{s1} Z^{s2} with joint probs."""
+    p_rest = 1.0 - px - py - pz
+    # Pattern bit 0 = X symbol, bit 1 = Z symbol; Y sets both.
+    probabilities = (p_rest, px, pz, py)
+    return SymbolGroup(_two_symbol_xz(qubit), probabilities, "noise")
+
+
+def _flip_group(qubit: int, letter: str, p: float) -> SymbolGroup:
+    """Single-symbol X_ERROR / Y_ERROR / Z_ERROR."""
+    return SymbolGroup(
+        actions=(((letter, qubit),),),
+        probabilities=(1.0 - p, p),
+        kind="noise",
+    )
+
+
+def _two_qubit_group(
+    qubit_a: int, qubit_b: int, pair_probs: dict[str, float]
+) -> SymbolGroup:
+    """General 2-qubit Pauli channel: 4 symbols (Xa, Za, Xb, Zb)."""
+    actions = (
+        (("X", qubit_a),),
+        (("Z", qubit_a),),
+        (("X", qubit_b),),
+        (("Z", qubit_b),),
+    )
+    probabilities = [0.0] * 16
+    total = 0.0
+    for pair, prob in pair_probs.items():
+        xa, za = _LETTER_XZ[pair[0]]
+        xb, zb = _LETTER_XZ[pair[1]]
+        pattern = xa | (za << 1) | (xb << 2) | (zb << 3)
+        probabilities[pattern] += prob
+        total += prob
+    probabilities[0] += 1.0 - total
+    return SymbolGroup(actions, tuple(probabilities), "noise")
+
+
+def noise_groups(instruction: Instruction) -> list[SymbolGroup]:
+    """Decompose a noise instruction into one SymbolGroup per site.
+
+    Sites are single qubits (1-qubit channels), qubit pairs (2-qubit
+    channels) or the whole target list (CORRELATED_ERROR).
+    """
+    name = instruction.name
+    args = instruction.args
+    targets = instruction.targets
+
+    if name in ("X_ERROR", "Y_ERROR", "Z_ERROR"):
+        letter = name[0]
+        return [_flip_group(q, letter, args[0]) for q in targets]
+
+    if name == "DEPOLARIZE1":
+        p = args[0]
+        return [_single_qubit_group(q, p / 3, p / 3, p / 3) for q in targets]
+
+    if name == "PAULI_CHANNEL_1":
+        px, py, pz = args
+        return [_single_qubit_group(q, px, py, pz) for q in targets]
+
+    if name == "DEPOLARIZE2":
+        p = args[0]
+        pair_probs = {
+            a + b: p / 15
+            for a in "IXYZ"
+            for b in "IXYZ"
+            if a + b != "II"
+        }
+        return [
+            _two_qubit_group(a, b, pair_probs)
+            for a, b in zip(targets[0::2], targets[1::2])
+        ]
+
+    if name == "PAULI_CHANNEL_2":
+        pair_probs = dict(zip(_PC2_ORDER, args))
+        return [
+            _two_qubit_group(a, b, pair_probs)
+            for a, b in zip(targets[0::2], targets[1::2])
+        ]
+
+    if name == "CORRELATED_ERROR":
+        action = tuple(
+            (t.pauli, t.qubit) for t in targets if isinstance(t, PauliTarget)
+        )
+        return [
+            SymbolGroup(
+                actions=(action,),
+                probabilities=(1.0 - args[0], args[0]),
+                kind="noise",
+            )
+        ]
+
+    raise ValueError(f"{name} is not a noise instruction")

@@ -1,0 +1,12 @@
+"""Pauli-string algebra.
+
+:class:`PauliString` is the exact, phase-tracked algebra used to derive
+Clifford conjugation tables and to express noise channels;
+:mod:`repro.pauli.dense` converts to dense matrices for numerical
+validation.
+"""
+
+from repro.pauli.pauli_string import PauliString
+from repro.pauli.dense import dense_pauli, PAULI_MATRICES
+
+__all__ = ["PauliString", "dense_pauli", "PAULI_MATRICES"]

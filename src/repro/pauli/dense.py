@@ -1,0 +1,32 @@
+"""Dense (2^n x 2^n) matrices for Pauli strings.
+
+Only used at import time (deriving gate conjugation tables) and in tests;
+never on the hot simulation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pauli.pauli_string import PauliString
+
+PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def dense_pauli(pauli: PauliString) -> np.ndarray:
+    """Dense matrix of a Pauli string, including its exact phase."""
+    out = np.array([[1]], dtype=complex)
+    x_mat, z_mat = PAULI_MATRICES["X"], PAULI_MATRICES["Z"]
+    for x, z in zip(pauli.xs, pauli.zs):
+        factor = np.eye(2, dtype=complex)
+        if x:
+            factor = factor @ x_mat
+        if z:
+            factor = factor @ z_mat
+        out = np.kron(out, factor)
+    return (1j ** pauli.phase_exponent) * out

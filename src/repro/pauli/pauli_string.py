@@ -1,0 +1,160 @@
+"""Phase-exact Pauli strings.
+
+A Pauli string is stored as ``i^k * X^{x} Z^{z}`` with per-qubit bits
+``x``, ``z`` and a global phase exponent ``k`` mod 4.  In this
+convention ``Y = i * X Z`` (so a Y has ``x = z = 1`` and contributes one
+unit to ``k`` when written from the {I,X,Y,Z} alphabet).
+
+The tableau algorithms only ever hold *Hermitian* Pauli strings (real
+sign ±1); :attr:`PauliString.sign_bit` converts the internal exponent to
+the tableau's phase bit and raises if the string is not Hermitian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CHAR_TO_XZ = {"I": (0, 0), "_": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_CHAR = {(0, 0): "_", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+_PHASE_STR = {0: "+", 1: "+i", 2: "-", 3: "-i"}
+
+
+class PauliString:
+    """An n-qubit Pauli string with exact phase tracking."""
+
+    __slots__ = ("xs", "zs", "phase_exponent")
+
+    def __init__(self, xs: np.ndarray, zs: np.ndarray, phase_exponent: int = 0):
+        self.xs = np.asarray(xs, dtype=np.uint8) & 1
+        self.zs = np.asarray(zs, dtype=np.uint8) & 1
+        if self.xs.shape != self.zs.shape or self.xs.ndim != 1:
+            raise ValueError("xs and zs must be 1-D arrays of equal length")
+        self.phase_exponent = phase_exponent % 4
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def identity(cls, n_qubits: int) -> "PauliString":
+        """The identity string on ``n_qubits`` qubits."""
+        zeros = np.zeros(n_qubits, dtype=np.uint8)
+        return cls(zeros, zeros.copy())
+
+    @classmethod
+    def from_str(cls, text: str) -> "PauliString":
+        """Parse strings like ``"+XYZ_"``, ``"-ZZ"``, ``"iY"``."""
+        phase = 0
+        body = text.strip()
+        if body.startswith("+"):
+            body = body[1:]
+        elif body.startswith("-"):
+            phase = 2
+            body = body[1:]
+        if body.startswith("i"):
+            phase += 1
+            body = body[1:]
+        xs, zs = [], []
+        extra_phase = 0
+        for ch in body:
+            if ch.upper() not in _CHAR_TO_XZ:
+                raise ValueError(f"invalid Pauli character {ch!r} in {text!r}")
+            x, z = _CHAR_TO_XZ[ch.upper()]
+            xs.append(x)
+            zs.append(z)
+            extra_phase += x & z  # Y = i * XZ contributes one i.
+        return cls(np.array(xs or [0][:0], dtype=np.uint8),
+                   np.array(zs or [0][:0], dtype=np.uint8),
+                   phase + extra_phase)
+
+    @classmethod
+    def single(cls, n_qubits: int, qubit: int, kind: str) -> "PauliString":
+        """A single-qubit X/Y/Z on ``qubit``, identity elsewhere."""
+        p = cls.identity(n_qubits)
+        x, z = _CHAR_TO_XZ[kind.upper()]
+        p.xs[qubit] = x
+        p.zs[qubit] = z
+        p.phase_exponent = x & z
+        return p
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        return self.xs.size
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.xs | self.zs))
+
+    @property
+    def is_hermitian(self) -> bool:
+        """True when the overall sign is real (±1 in the {I,X,Y,Z} alphabet)."""
+        y_count = int(np.count_nonzero(self.xs & self.zs))
+        return (self.phase_exponent - y_count) % 2 == 0
+
+    @property
+    def sign_bit(self) -> int:
+        """Tableau phase bit: 0 for ``+P``, 1 for ``-P`` (P in {I,X,Y,Z}^n)."""
+        y_count = int(np.count_nonzero(self.xs & self.zs))
+        k = (self.phase_exponent - y_count) % 4
+        if k % 2:
+            raise ValueError(f"{self!r} is not Hermitian")
+        return k // 2
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two strings commute (symplectic product is 0)."""
+        if self.n_qubits != other.n_qubits:
+            raise ValueError("qubit counts differ")
+        cross = (self.xs & other.zs).sum() + (self.zs & other.xs).sum()
+        return int(cross) % 2 == 0
+
+    # -- algebra ----------------------------------------------------------
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        if self.n_qubits != other.n_qubits:
+            raise ValueError("qubit counts differ")
+        # Moving other's X block through self's Z block: (-1)^{z1 . x2}.
+        anti = int((self.zs & other.xs).sum())
+        return PauliString(
+            self.xs ^ other.xs,
+            self.zs ^ other.zs,
+            self.phase_exponent + other.phase_exponent + 2 * anti,
+        )
+
+    def inverse(self) -> "PauliString":
+        """Group inverse (equals the adjoint for unitary Paulis)."""
+        anti = int((self.zs & self.xs).sum())
+        return PauliString(self.xs, self.zs, -self.phase_exponent + 2 * anti)
+
+    def tensor(self, other: "PauliString") -> "PauliString":
+        """Tensor product ``self (x) other``."""
+        return PauliString(
+            np.concatenate([self.xs, other.xs]),
+            np.concatenate([self.zs, other.zs]),
+            self.phase_exponent + other.phase_exponent,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.phase_exponent == other.phase_exponent
+            and np.array_equal(self.xs, other.xs)
+            and np.array_equal(self.zs, other.zs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.phase_exponent, self.xs.tobytes(), self.zs.tobytes()))
+
+    # -- formatting ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        y_count = int(np.count_nonzero(self.xs & self.zs))
+        k = (self.phase_exponent - y_count) % 4
+        chars = "".join(
+            _XZ_TO_CHAR[(int(x), int(z))] for x, z in zip(self.xs, self.zs)
+        )
+        return _PHASE_STR[k] + chars
+
+    def __repr__(self) -> str:
+        return f"PauliString({str(self)!r})"

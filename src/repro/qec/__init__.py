@@ -1,0 +1,17 @@
+"""QEC workload generators: memory experiments with detectors/observables.
+
+These produce the *sparse* circuits the paper's Table 1 footnote targets
+(each detector depends on a handful of fault symbols), plus the noise
+model machinery to turn clean circuits into circuit-level-noise ones.
+"""
+
+from repro.qec.repetition import repetition_code_memory
+from repro.qec.surface import surface_code_memory
+from repro.qec.noise_models import NoiseModel, with_noise
+
+__all__ = [
+    "NoiseModel",
+    "repetition_code_memory",
+    "surface_code_memory",
+    "with_noise",
+]

@@ -1,0 +1,66 @@
+"""Circuit-level noise transformers.
+
+A :class:`NoiseModel` rewrites a *clean* circuit into a noisy one by
+inserting Pauli channels around operations.  Detector/observable
+definitions survive unchanged (noise adds no measurement records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.instructions import Instruction, RepeatBlock
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Uniform circuit-level depolarizing noise.
+
+    * ``after_1q`` — DEPOLARIZE1 after every single-qubit unitary;
+    * ``after_2q`` — DEPOLARIZE2 after every two-qubit unitary;
+    * ``before_measure`` — X_ERROR before every measurement
+      (Z_ERROR for X-basis measurements);
+    * ``after_reset`` — X_ERROR after every reset.
+    """
+
+    after_1q: float = 0.0
+    after_2q: float = 0.0
+    before_measure: float = 0.0
+    after_reset: float = 0.0
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Return a noisy copy of ``circuit``."""
+        noisy = Circuit()
+        for entry in circuit.entries:
+            if isinstance(entry, RepeatBlock):
+                noisy.entries.append(
+                    RepeatBlock(entry.count, self.apply(entry.body))
+                )
+                continue
+            self._emit(entry, noisy)
+        return noisy
+
+    def _emit(self, instruction: Instruction, out: Circuit) -> None:
+        gate = instruction.gate
+        targets = [t for t in instruction.targets if isinstance(t, int)]
+        if gate.kind in ("measure", "measure_reset") and self.before_measure > 0:
+            flip = "Z_ERROR" if gate.basis == "X" else "X_ERROR"
+            out.append(flip, targets, self.before_measure)
+        out.entries.append(instruction)
+        if gate.is_unitary and gate.name != "I":
+            if gate.targets_per_op == 1 and self.after_1q > 0:
+                out.append("DEPOLARIZE1", targets, self.after_1q)
+            elif gate.targets_per_op == 2 and self.after_2q > 0:
+                out.append("DEPOLARIZE2", targets, self.after_2q)
+        if gate.kind in ("reset", "measure_reset") and self.after_reset > 0:
+            flip = "Z_ERROR" if gate.basis == "X" else "X_ERROR"
+            out.append(flip, targets, self.after_reset)
+
+
+def with_noise(circuit: Circuit, p: float) -> Circuit:
+    """Shorthand: uniform strength-``p`` circuit-level noise."""
+    model = NoiseModel(
+        after_1q=p, after_2q=p, before_measure=p, after_reset=p
+    )
+    return model.apply(circuit)

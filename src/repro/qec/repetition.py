@@ -1,0 +1,65 @@
+"""Repetition-code memory experiment (bit-flip code).
+
+``distance`` data qubits protected against X errors by ``distance - 1``
+ZZ checks, measured for ``rounds`` rounds with mid-circuit ancilla
+measure-reset.  Detectors compare consecutive syndrome rounds; the
+logical observable is the first data qubit's final measurement.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+
+
+def repetition_code_memory(
+    distance: int,
+    rounds: int,
+    data_flip_probability: float = 0.0,
+    measure_flip_probability: float = 0.0,
+) -> Circuit:
+    """Build a repetition-code memory circuit.
+
+    Qubits ``0 .. d-1`` are data, ``d .. 2d-2`` are ancillas (ancilla
+    ``i`` checks data pair ``(i, i+1)``).  Noise is phenomenological:
+    ``X_ERROR(data_flip_probability)`` on every data qubit each round and
+    ``X_ERROR(measure_flip_probability)`` on each ancilla right before
+    its measurement.
+    """
+    if distance < 2:
+        raise ValueError("distance must be at least 2")
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    d = distance
+    data = list(range(d))
+    ancillas = [d + i for i in range(d - 1)]
+
+    circuit = Circuit()
+    circuit.r(*data, *ancillas)
+
+    for round_index in range(rounds):
+        if data_flip_probability > 0:
+            circuit.x_error(data_flip_probability, *data)
+        for i, ancilla in enumerate(ancillas):
+            circuit.cx(data[i], ancilla)
+        for i, ancilla in enumerate(ancillas):
+            circuit.cx(data[i + 1], ancilla)
+        if measure_flip_probability > 0:
+            circuit.x_error(measure_flip_probability, *ancillas)
+        circuit.mr(*ancillas)
+        n_anc = len(ancillas)
+        if round_index == 0:
+            # First round: |0...0> makes every check deterministic.
+            for i in range(n_anc):
+                circuit.detector(-n_anc + i)
+        else:
+            for i in range(n_anc):
+                circuit.detector(-n_anc + i, -2 * n_anc + i)
+        circuit.tick()
+
+    circuit.m(*data)
+    n_anc = len(ancillas)
+    # Boundary detectors: final data parities against the last syndrome.
+    for i in range(n_anc):
+        circuit.detector(-d + i, -d + i + 1, -d - n_anc + i)
+    circuit.observable_include(0, -d)
+    return circuit

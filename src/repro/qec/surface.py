@@ -1,0 +1,164 @@
+"""Rotated surface-code memory experiment.
+
+Layout follows the standard rotated code picture in doubled coordinates:
+data qubits at odd ``(x, y)``, ancilla (measure) qubits at even
+``(x, y)``, X- and Z-type plaquettes checkerboarded, with weight-2
+checks on the boundary.  The four-step CX schedule uses the standard
+"Z"/"ᴎ" orders so that all checks commute through each round.
+
+``basis="Z"`` protects/measures logical Z (a horizontal data row);
+``basis="X"`` the dual.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+
+# Data-qubit offsets visited by each ancilla type, in time order.
+_X_SCHEDULE = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+_Z_SCHEDULE = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+
+
+def _build_layout(distance: int):
+    """Coordinates of data and ancilla qubits for the rotated code."""
+    d = distance
+    data_coords = [(2 * x + 1, 2 * y + 1) for x in range(d) for y in range(d)]
+    x_ancillas: list[tuple[int, int]] = []
+    z_ancillas: list[tuple[int, int]] = []
+    for x in range(d + 1):
+        for y in range(d + 1):
+            coord = (2 * x, 2 * y)
+            on_left = x == 0
+            on_right = x == d
+            on_bottom = y == 0
+            on_top = y == d
+            is_x_type = (x + y) % 2 == 1
+            if is_x_type:
+                # X checks span columns; they may not sit on left/right edges.
+                if on_left or on_right:
+                    continue
+                x_ancillas.append(coord)
+            else:
+                if on_bottom or on_top:
+                    continue
+                z_ancillas.append(coord)
+    return data_coords, x_ancillas, z_ancillas
+
+
+def surface_code_memory(
+    distance: int,
+    rounds: int,
+    after_clifford_depolarization: float = 0.0,
+    before_measure_flip_probability: float = 0.0,
+    basis: str = "Z",
+) -> Circuit:
+    """Build a rotated surface-code memory circuit with detectors.
+
+    Noise (both optional): DEPOLARIZE2 after every CX, and X_ERROR before
+    every measurement.  Detectors compare consecutive rounds of same-type
+    checks; the observable is one logical operator of ``basis``.
+    """
+    if distance < 2:
+        raise ValueError("distance must be at least 2")
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    if basis not in ("Z", "X"):
+        raise ValueError("basis must be 'Z' or 'X'")
+
+    data_coords, x_anc, z_anc = _build_layout(distance)
+    coord_to_index: dict[tuple[int, int], int] = {}
+    for coord in data_coords + x_anc + z_anc:
+        coord_to_index[coord] = len(coord_to_index)
+    data = [coord_to_index[c] for c in data_coords]
+    x_idx = [coord_to_index[c] for c in x_anc]
+    z_idx = [coord_to_index[c] for c in z_anc]
+    all_anc = x_idx + z_idx
+    p2 = after_clifford_depolarization
+    pm = before_measure_flip_probability
+
+    def neighbors(coord, schedule, step):
+        dx, dy = schedule[step]
+        target = (coord[0] + dx, coord[1] + dy)
+        return coord_to_index.get(target)
+
+    circuit = Circuit()
+    for coord, index in coord_to_index.items():
+        circuit.append("QUBIT_COORDS", [index], list(map(float, coord)))
+    circuit.r(*data, *all_anc)
+    if basis == "X":
+        circuit.h(*data)
+
+    def syndrome_round() -> Circuit:
+        block = Circuit()
+        block.h(*x_idx)
+        for step in range(4):
+            pairs: list[int] = []
+            for coord in x_anc:
+                other = neighbors(coord, _X_SCHEDULE, step)
+                if other is not None:
+                    pairs.extend([coord_to_index[coord], other])
+            for coord in z_anc:
+                other = neighbors(coord, _Z_SCHEDULE, step)
+                if other is not None:
+                    pairs.extend([other, coord_to_index[coord]])
+            if pairs:
+                block.cx(*pairs)
+                if p2 > 0:
+                    block.depolarize2(p2, *pairs)
+        block.h(*x_idx)
+        if pm > 0:
+            block.x_error(pm, *all_anc)
+        block.mr(*all_anc)
+        return block
+
+    n_anc = len(all_anc)
+    n_x = len(x_idx)
+
+    # Round 1: only same-basis checks are deterministic.
+    circuit += syndrome_round()
+    if basis == "Z":
+        for i in range(len(z_idx)):
+            circuit.detector(-len(z_idx) + i)
+    else:
+        for i in range(n_x):
+            circuit.detector(-n_anc + i)
+    circuit.tick()
+
+    for _ in range(rounds - 1):
+        circuit += syndrome_round()
+        for i in range(n_anc):
+            circuit.detector(-n_anc + i, -2 * n_anc + i)
+        circuit.tick()
+
+    # Final transversal data measurement in the memory basis.
+    if basis == "X":
+        circuit.h(*data)
+    if pm > 0:
+        circuit.x_error(pm, *data)
+    circuit.m(*data)
+    n_data = len(data)
+
+    def data_lookback(coord):
+        return -n_data + data_coords.index(coord)
+
+    # Boundary detectors: each same-basis plaquette's data product must
+    # match its last syndrome measurement.
+    check_anc = z_anc if basis == "Z" else x_anc
+    check_offset = (len(x_idx) if basis == "Z" else 0)
+    schedule = _Z_SCHEDULE if basis == "Z" else _X_SCHEDULE
+    for i, coord in enumerate(check_anc):
+        lookbacks = []
+        for dx, dy in schedule:
+            neighbor = (coord[0] + dx, coord[1] + dy)
+            if neighbor in coord_to_index and neighbor in data_coords:
+                lookbacks.append(data_lookback(neighbor))
+        anc_lookback = -n_data - n_anc + check_offset + i
+        circuit.detector(*lookbacks, anc_lookback)
+
+    # Logical operator: a straight line of data qubits crossing the code.
+    if basis == "Z":
+        line = [(2 * x + 1, 1) for x in range(distance)]
+    else:
+        line = [(1, 2 * y + 1) for y in range(distance)]
+    circuit.observable_include(0, *[data_lookback(c) for c in line])
+    return circuit

@@ -1,0 +1,5 @@
+"""Exact dense-statevector oracle for validation (small qubit counts)."""
+
+from repro.reference.statevector import StatevectorSimulator
+
+__all__ = ["StatevectorSimulator"]

@@ -1,0 +1,23 @@
+"""Aaronson–Gottesman stabilizer tableau (concrete phases).
+
+:class:`Tableau` implements the improved tableau algorithm of
+Aaronson & Gottesman (2004): n destabilizer rows + n stabilizer rows,
+O(n) Clifford gates and O(n^2) computational-basis measurements.
+:class:`TableauSimulator` executes whole circuits on it, sampling noise
+concretely (one shot per run) — the classic way to sample, and the
+source of the *reference sample* for the Pauli-frame baseline.
+"""
+
+from repro.tableau.tableau import Tableau
+from repro.tableau.simulator import TableauSimulator, reference_sample
+from repro.tableau.clifford_map import CliffordMap
+from repro.tableau.packed import PackedTableau, simulate_hybrid
+
+__all__ = [
+    "CliffordMap",
+    "PackedTableau",
+    "Tableau",
+    "TableauSimulator",
+    "reference_sample",
+    "simulate_hybrid",
+]

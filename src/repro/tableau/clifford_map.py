@@ -1,0 +1,198 @@
+"""Clifford unitaries as conjugation maps (operator-level API).
+
+A :class:`CliffordMap` stores the sign-exact images of the symplectic
+basis — ``U X_i U†`` and ``U Z_i U†`` for every qubit — which determines
+the Clifford up to global phase.  Supports composition, inversion, exact
+conjugation of arbitrary Pauli strings, and construction from circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.gf2.linalg import inverse as gf2_inverse
+from repro.pauli.pauli_string import PauliString
+
+
+class CliffordMap:
+    """An n-qubit Clifford, represented by basis-Pauli images.
+
+    ``images[i]`` is the image of ``X_i`` for ``i < n`` and of
+    ``Z_{i-n}`` for ``i >= n``; every image is a Hermitian
+    :class:`PauliString`.
+    """
+
+    def __init__(self, images: list[PauliString]):
+        if not images or len(images) % 2 != 0:
+            raise ValueError("need 2n basis images")
+        n = len(images) // 2
+        if any(p.n_qubits != n for p in images):
+            raise ValueError("image qubit counts are inconsistent")
+        if any(not p.is_hermitian for p in images):
+            raise ValueError("basis images must be Hermitian")
+        self.n = n
+        self.images = images
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n_qubits: int) -> "CliffordMap":
+        images = [
+            PauliString.single(n_qubits, q, "X") for q in range(n_qubits)
+        ] + [
+            PauliString.single(n_qubits, q, "Z") for q in range(n_qubits)
+        ]
+        return cls(images)
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: Circuit, n_qubits: int | None = None
+    ) -> "CliffordMap":
+        """The map of a purely unitary circuit (no measurement/noise)."""
+        n = n_qubits if n_qubits is not None else max(circuit.n_qubits, 1)
+        out = cls.identity(n)
+        for instruction in circuit.flattened():
+            gate = instruction.gate
+            if gate.kind == "annotation":
+                continue
+            if not gate.is_unitary:
+                raise ValueError(
+                    f"{gate.name} is not unitary; CliffordMap is for "
+                    "unitary circuits only"
+                )
+            out = out.then_gate(gate.name, instruction.targets)
+        return out
+
+    @classmethod
+    def random(
+        cls, n_qubits: int, rng: np.random.Generator, depth: int | None = None
+    ) -> "CliffordMap":
+        """A random Clifford via a deep random circuit.
+
+        Scrambles well for ``depth >> n`` (default ``20 n + 20``), though
+        it is not exactly Haar-uniform over the Clifford group.
+        """
+        depth = depth if depth is not None else 20 * n_qubits + 20
+        single = ("H", "S", "SQRT_X", "X", "Z", "C_XYZ")
+        out = cls.identity(n_qubits)
+        for _ in range(depth):
+            if n_qubits >= 2 and rng.random() < 0.4:
+                a, b = rng.choice(n_qubits, 2, replace=False)
+                out = out.then_gate(
+                    str(rng.choice(("CX", "CZ", "SWAP"))), (int(a), int(b))
+                )
+            else:
+                out = out.then_gate(
+                    str(rng.choice(single)), (int(rng.integers(n_qubits)),)
+                )
+        return out
+
+    # -- composition ------------------------------------------------------
+
+    def then_gate(self, name: str, targets: tuple[int, ...]) -> "CliffordMap":
+        """The map followed by one more gate (returns a new map)."""
+        from repro.gates.database import get_gate
+
+        table = get_gate(name).table
+        images = []
+        for pauli in self.images:
+            xs = pauli.xs.copy()
+            zs = pauli.zs.copy()
+            sign = pauli.sign_bit
+            if table.n_qubits == 1:
+                for qubit in targets:
+                    x, z = int(xs[qubit]), int(zs[qubit])
+                    out = table.outputs[(x << 1) | z]
+                    sign ^= int(table.flips[(x << 1) | z])
+                    xs[qubit], zs[qubit] = out[0], out[1]
+            else:
+                for a, b in zip(targets[0::2], targets[1::2]):
+                    idx = (int(xs[a]) << 3) | (int(zs[a]) << 2) \
+                        | (int(xs[b]) << 1) | int(zs[b])
+                    out = table.outputs[idx]
+                    sign ^= int(table.flips[idx])
+                    xs[a], zs[a], xs[b], zs[b] = out
+            y_count = int(np.count_nonzero(xs & zs))
+            images.append(PauliString(xs, zs, 2 * sign + y_count))
+        return CliffordMap(images)
+
+    def then(self, other: "CliffordMap") -> "CliffordMap":
+        """Sequential composition: first self, then other (V∘U)."""
+        if other.n != self.n:
+            raise ValueError("qubit counts differ")
+        return CliffordMap([other.conjugate(p) for p in self.images])
+
+    # -- action ----------------------------------------------------------------
+
+    def conjugate(self, pauli: PauliString) -> PauliString:
+        """Exact ``U P U†`` for an arbitrary (phased) Pauli string.
+
+        Decomposes P as ``i^k ∏ X_q^{x_q} ∏ Z_q^{z_q}`` (applying X parts
+        before Z parts, matching PauliString's internal convention) and
+        multiplies the corresponding images.
+        """
+        if pauli.n_qubits != self.n:
+            raise ValueError("qubit count mismatch")
+        out = PauliString.identity(self.n)
+        # X^x Z^z per qubit: X factors of *all* qubits commute with each
+        # other, as do Z factors; the only ordering that matters is X
+        # before Z per qubit, which ∏X ∏Z respects.
+        for q in range(self.n):
+            if pauli.xs[q]:
+                out = out * self.images[q]
+        for q in range(self.n):
+            if pauli.zs[q]:
+                out = out * self.images[self.n + q]
+        return PauliString(out.xs, out.zs, out.phase_exponent + pauli.phase_exponent)
+
+    # -- inversion ---------------------------------------------------------------
+
+    def symplectic_matrix(self) -> np.ndarray:
+        """(2n x 2n) GF(2) matrix: column j = (x|z) bits of image j."""
+        n = self.n
+        m = np.zeros((2 * n, 2 * n), dtype=np.uint8)
+        for j, pauli in enumerate(self.images):
+            m[:n, j] = pauli.xs
+            m[n:, j] = pauli.zs
+        return m
+
+    def inverse(self) -> "CliffordMap":
+        """The inverse map (bit structure by GF(2) inversion, signs fixed
+        by requiring ``self.conjugate(inverse_image) == basis Pauli``)."""
+        n = self.n
+        inv = gf2_inverse(self.symplectic_matrix())
+        images = []
+        for j in range(2 * n):
+            xs = inv[:n, j]
+            zs = inv[n:, j]
+            y_count = int(np.count_nonzero(xs & zs))
+            candidate = PauliString(xs, zs, y_count)  # sign +1 guess
+            basis = (
+                PauliString.single(n, j, "X") if j < n
+                else PauliString.single(n, j - n, "Z")
+            )
+            if self.conjugate(candidate).sign_bit != basis.sign_bit:
+                candidate = PauliString(xs, zs, y_count + 2)
+            images.append(candidate)
+        return CliffordMap(images)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CliffordMap):
+            return NotImplemented
+        return self.n == other.n and all(
+            a == b for a, b in zip(self.images, other.images)
+        )
+
+    def __repr__(self) -> str:
+        return f"CliffordMap(n={self.n})"
+
+    def __str__(self) -> str:
+        lines = []
+        for q in range(self.n):
+            lines.append(f"X{q} -> {self.images[q]}")
+        for q in range(self.n):
+            lines.append(f"Z{q} -> {self.images[self.n + q]}")
+        return "\n".join(lines)

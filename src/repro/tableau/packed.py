@@ -1,0 +1,148 @@
+"""Bit-packed, qubit-major tableau: 64 generators per word op.
+
+This is the §4 storage story made executable: in *gate mode* the tableau
+is kept qubit-major (``xs[q]`` holds qubit ``q``'s X bit for all ``2n``
+generators, packed), so a gate is a handful of word-wide ANF operations
+updating every generator at once.  Measurements need generator-major
+rows, so a simulation alternates: bursts of gates on the packed form,
+one bit-transpose ("local transposition" in the paper's layout), bursts
+of measurements on the row-major :class:`Tableau`, transpose back.
+:func:`simulate_hybrid` implements exactly that loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.gates.anf import gate_kernel
+from repro.gates.database import get_gate
+from repro.gf2 import bitops
+from repro.gf2.transpose import transpose_bitmatrix
+from repro.tableau.tableau import Tableau
+
+_U64 = np.uint64
+
+
+class PackedTableau:
+    """Qubit-major packed destabilizer tableau (gate-optimized form)."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.n = n_qubits
+        n_rows = 2 * n_qubits
+        n_words = bitops.words_for(n_rows)
+        self.xs = np.zeros((n_qubits, n_words), dtype=_U64)
+        self.zs = np.zeros((n_qubits, n_words), dtype=_U64)
+        self.rs = np.zeros(n_words, dtype=_U64)
+        for i in range(n_qubits):
+            bitops.set_bit(self.xs[i], i, 1)              # destabilizer X_i
+            bitops.set_bit(self.zs[i], n_qubits + i, 1)    # stabilizer Z_i
+        tail = n_rows % bitops.WORD_BITS
+        self._tail_mask = (
+            (_U64(1) << _U64(tail)) - _U64(1) if tail else _U64(0xFFFFFFFFFFFFFFFF)
+        )
+
+    # -- gates (word-parallel) ---------------------------------------------
+
+    def apply_gate(self, name: str, targets: tuple[int, ...]) -> None:
+        """Apply a unitary gate; O(2n / 64) word ops per application."""
+        gate = get_gate(name)
+        kernel = gate_kernel(gate.name)
+        if kernel.n_qubits == 1:
+            for qubit in targets:
+                new_x, new_z, flip = kernel.evaluate(
+                    [self.xs[qubit], self.zs[qubit]]
+                )
+                self.xs[qubit] = new_x
+                self.zs[qubit] = new_z
+                self.rs ^= flip
+        else:
+            for a, b in zip(targets[0::2], targets[1::2]):
+                outs = kernel.evaluate(
+                    [self.xs[a], self.zs[a], self.xs[b], self.zs[b]]
+                )
+                self.xs[a], self.zs[a] = outs[0], outs[1]
+                self.xs[b], self.zs[b] = outs[2], outs[3]
+                self.rs ^= outs[4]
+        # Constant ANF terms set padding bits; keep them clean.
+        self.xs[:, -1] &= self._tail_mask
+        self.zs[:, -1] &= self._tail_mask
+        self.rs[-1] &= self._tail_mask
+
+    # -- conversion (the layout "mode switch") ---------------------------------
+
+    @classmethod
+    def from_tableau(cls, tableau: Tableau) -> "PackedTableau":
+        out = cls(tableau.n)
+        n_rows = 2 * tableau.n
+        out.xs = transpose_bitmatrix(
+            bitops.pack_rows(tableau.xs), n_rows, tableau.n
+        )
+        out.zs = transpose_bitmatrix(
+            bitops.pack_rows(tableau.zs), n_rows, tableau.n
+        )
+        out.rs = bitops.pack_bits(tableau.rs)
+        return out
+
+    def to_tableau(self) -> Tableau:
+        out = Tableau(self.n)
+        n_rows = 2 * self.n
+        out.xs = bitops.unpack_rows(
+            transpose_bitmatrix(self.xs, self.n, n_rows), self.n
+        )
+        out.zs = bitops.unpack_rows(
+            transpose_bitmatrix(self.zs, self.n, n_rows), self.n
+        )
+        out.rs = bitops.unpack_bits(self.rs, n_rows)
+        return out
+
+
+def simulate_hybrid(
+    circuit: Circuit,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Single-shot noiseless-measurement simulation with the §4 strategy:
+    word-parallel gates on the packed form, row-major measurements, with
+    bit transposes only at mode boundaries.  Returns the record.
+
+    Noise instructions are sampled concretely (like TableauSimulator).
+    """
+    from repro.tableau.simulator import TableauSimulator
+
+    rng = rng or np.random.default_rng()
+    n = max(circuit.n_qubits, 1)
+    packed = PackedTableau(n)
+    record: list[int] = []
+    helper = TableauSimulator(n, rng)  # reused for measure/reset/noise
+
+    def to_measure_mode():
+        helper.tableau = packed.to_tableau()
+        helper.record = record
+
+    def to_gate_mode():
+        nonlocal packed
+        packed = PackedTableau.from_tableau(helper.tableau)
+
+    mode = "gate"
+    for instruction in circuit.flattened():
+        gate = instruction.gate
+        is_gate = gate.is_unitary and not any(
+            not isinstance(t, int) for t in instruction.targets
+        )
+        if is_gate:
+            if mode != "gate":
+                to_gate_mode()
+                mode = "gate"
+            packed.apply_gate(gate.name, instruction.targets)
+        elif gate.kind == "annotation":
+            continue
+        else:
+            if mode != "measure":
+                to_measure_mode()
+                mode = "measure"
+            helper.do_instruction(instruction)
+    if mode == "measure":
+        record = helper.record
+    return np.array(record, dtype=np.uint8)

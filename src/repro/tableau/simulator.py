@@ -1,0 +1,137 @@
+"""Single-shot circuit execution on the A-G tableau.
+
+This is the classic Monte-Carlo way to sample a noisy stabilizer circuit
+(one full circuit traversal per shot).  It doubles as:
+
+* the correctness oracle for the fast samplers (shot-for-shot agreement
+  when driven by the same fault patterns), and
+* the producer of the *reference sample* the Pauli-frame simulator needs
+  (noiseless execution with random outcomes pinned to 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.instructions import Instruction, RecTarget
+from repro.noise.channels import noise_groups, pattern_bits
+from repro.tableau.tableau import Tableau
+
+_BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}  # maps the basis onto Z
+_FEEDBACK_LETTER = {"CX": "X", "CY": "Y", "CZ": "Z"}
+
+
+class TableauSimulator:
+    """Stateful single-shot simulator over a Tableau."""
+
+    def __init__(self, n_qubits: int, rng: np.random.Generator | None = None):
+        self.tableau = Tableau(n_qubits)
+        self.rng = rng or np.random.default_rng()
+        self.record: list[int] = []
+
+    # -- instruction dispatch ---------------------------------------------
+
+    def do_instruction(
+        self,
+        instruction: Instruction,
+        force_random_outcomes: int | None = None,
+        disable_noise: bool = False,
+    ) -> None:
+        gate = instruction.gate
+        if gate.is_unitary:
+            self._apply_unitary(instruction)
+        elif gate.kind == "measure":
+            for qubit in instruction.targets:
+                self.record.append(
+                    self._measure(qubit, gate.basis, force_random_outcomes)
+                )
+        elif gate.kind == "reset":
+            for qubit in instruction.targets:
+                self._reset(qubit, gate.basis, force_random_outcomes)
+        elif gate.kind == "measure_reset":
+            for qubit in instruction.targets:
+                outcome = self._measure(qubit, gate.basis, force_random_outcomes)
+                self.record.append(outcome)
+                if outcome:
+                    self._flip_after_measure(qubit, gate.basis)
+        elif gate.kind == "noise":
+            if not disable_noise:
+                self._apply_noise(instruction)
+        elif gate.kind == "annotation":
+            pass
+        else:
+            raise ValueError(f"unhandled instruction kind {gate.kind!r}")
+
+    def run(
+        self,
+        circuit: Circuit,
+        force_random_outcomes: int | None = None,
+        disable_noise: bool = False,
+    ) -> np.ndarray:
+        """Execute a circuit; returns the measurement record as uint8."""
+        for instruction in circuit.flattened():
+            self.do_instruction(instruction, force_random_outcomes, disable_noise)
+        return np.array(self.record, dtype=np.uint8)
+
+    def _apply_unitary(self, instruction: Instruction) -> None:
+        gate = instruction.gate
+        targets = instruction.targets
+        if not any(isinstance(t, RecTarget) for t in targets):
+            self.tableau.apply_gate(gate.name, targets)
+            return
+        # Classically-controlled Pauli: apply when the recorded bit is 1.
+        letter = _FEEDBACK_LETTER[gate.name]
+        for control, qubit in zip(targets[0::2], targets[1::2]):
+            if isinstance(control, RecTarget):
+                if self.record[len(self.record) + control.offset]:
+                    self.tableau.apply_gate(letter, (qubit,))
+            else:
+                self.tableau.apply_gate(gate.name, (control, qubit))
+
+    # -- measurement / reset -------------------------------------------------
+
+    def _measure(
+        self, qubit: int, basis: str, forced: int | None
+    ) -> int:
+        conj = _BASIS_CONJUGATION.get(basis)
+        if conj:
+            self.tableau.apply_gate(conj, (qubit,))
+        outcome, _ = self.tableau.measure(qubit, self.rng, forced)
+        if conj:
+            self.tableau.apply_gate(conj, (qubit,))
+        return outcome
+
+    def _flip_after_measure(self, qubit: int, basis: str) -> None:
+        """Return the post-measurement +1 eigenstate (used by MR/R)."""
+        flip_gate = {"Z": "X", "X": "Z", "Y": "X"}[basis]
+        self.tableau.apply_gate(flip_gate, (qubit,))
+
+    def _reset(self, qubit: int, basis: str, forced: int | None) -> None:
+        outcome = self._measure(qubit, basis, forced)
+        if outcome:
+            self._flip_after_measure(qubit, basis)
+
+    # -- noise -------------------------------------------------------------------
+
+    def _apply_noise(self, instruction: Instruction) -> None:
+        for group in noise_groups(instruction):
+            pattern = int(group.sample_patterns(1, self.rng)[0])
+            self.apply_fault_pattern(group, pattern)
+
+    def apply_fault_pattern(self, group, pattern: int) -> None:
+        """Apply the concrete Paulis selected by a joint bit pattern."""
+        for symbol_index in range(group.n_symbols):
+            if pattern_bits(np.array([pattern]), symbol_index)[0]:
+                for letter, qubit in group.actions[symbol_index]:
+                    self.tableau.apply_gate(letter, (qubit,))
+
+
+def reference_sample(circuit: Circuit) -> np.ndarray:
+    """A valid noiseless sample with all random outcomes pinned to 0.
+
+    This is the baseline record the Pauli-frame simulator XORs its frame
+    flips into.
+    """
+    sim = TableauSimulator(max(circuit.n_qubits, 1))
+    return sim.run(circuit, force_random_outcomes=0, disable_noise=True)

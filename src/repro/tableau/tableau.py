@@ -1,0 +1,212 @@
+"""The Aaronson–Gottesman destabilizer/stabilizer tableau.
+
+Rows ``0 .. n-1`` are destabilizer generators, rows ``n .. 2n-1``
+stabilizer generators.  X/Z bits are unpacked uint8 arrays (fast NumPy
+column slicing for gates); phases are one bit per row.
+
+The phase bookkeeping of row multiplication follows A-G exactly: the
+accumulated i-exponent of the product of two Hermitian rows is always
+even, so the new phase bit is ``(2 r_h + 2 r_i + sum g_j) mod 4 / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.database import get_gate
+from repro.pauli.pauli_string import PauliString
+
+
+def g_exponents(
+    x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray
+) -> np.ndarray:
+    """A-G's g function, elementwise: the i-exponent contributed when the
+    single-qubit Pauli (x1, z1) is multiplied by (x2, z2).  Values in
+    {-1, 0, +1}."""
+    x1 = x1.astype(np.int8)
+    z1 = z1.astype(np.int8)
+    x2 = x2.astype(np.int8)
+    z2 = z2.astype(np.int8)
+    case_y = (x1 & z1) * (z2 - x2)
+    case_x = (x1 & (1 - z1)) * (z2 * (2 * x2 - 1))
+    case_z = ((1 - x1) & z1) * (x2 * (1 - 2 * z2))
+    return case_y + case_x + case_z
+
+
+class Tableau:
+    """A 2n-row destabilizer tableau over ``n`` qubits, initially |0...0>."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise ValueError("tableau needs at least one qubit")
+        n = n_qubits
+        self.n = n
+        self.xs = np.zeros((2 * n, n), dtype=np.uint8)
+        self.zs = np.zeros((2 * n, n), dtype=np.uint8)
+        self.rs = np.zeros(2 * n, dtype=np.uint8)
+        idx = np.arange(n)
+        self.xs[idx, idx] = 1          # destabilizer i = X_i
+        self.zs[n + idx, idx] = 1      # stabilizer  i = Z_i
+
+    # -- gates -------------------------------------------------------------
+
+    def apply_gate(self, name: str, targets: tuple[int, ...]) -> None:
+        """Apply a named unitary gate to each (pair of) target(s)."""
+        gate = get_gate(name)
+        table = gate.table
+        if gate.targets_per_op == 1:
+            for qubit in targets:
+                x, z = self.xs[:, qubit], self.zs[:, qubit]
+                nx, nz, flip = table.apply_1q(x, z)
+                self.xs[:, qubit] = nx
+                self.zs[:, qubit] = nz
+                self.rs ^= flip
+        else:
+            for a, b in zip(targets[0::2], targets[1::2]):
+                x1, z1 = self.xs[:, a], self.zs[:, a]
+                x2, z2 = self.xs[:, b], self.zs[:, b]
+                nx1, nz1, nx2, nz2, flip = table.apply_2q(x1, z1, x2, z2)
+                self.xs[:, a] = nx1
+                self.zs[:, a] = nz1
+                self.xs[:, b] = nx2
+                self.zs[:, b] = nz2
+                self.rs ^= flip
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Conjugate by a Pauli string: flips phases of anticommuting rows."""
+        anti = ((self.xs @ pauli.zs) + (self.zs @ pauli.xs)) & 1
+        self.rs ^= anti.astype(np.uint8)
+
+    def apply_x(self, qubit: int) -> None:
+        self.rs ^= self.zs[:, qubit]
+
+    def apply_y(self, qubit: int) -> None:
+        self.rs ^= self.xs[:, qubit] ^ self.zs[:, qubit]
+
+    def apply_z(self, qubit: int) -> None:
+        self.rs ^= self.xs[:, qubit]
+
+    # -- row operations ------------------------------------------------------
+
+    def rowsum_many(self, rows: np.ndarray, src: int) -> None:
+        """Row h *= row src, for every h in ``rows`` (vectorized)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        g_sum = g_exponents(
+            self.xs[rows], self.zs[rows], self.xs[src], self.zs[src]
+        ).sum(axis=1, dtype=np.int64)
+        total = (2 * self.rs[rows].astype(np.int64)
+                 + 2 * int(self.rs[src]) + g_sum) % 4
+        # Stabilizer rows always commute pairwise, so their products stay
+        # Hermitian (even i-exponent).  The one destabilizer row paired with
+        # the source stabilizer anticommutes; its phase is junk by
+        # construction (as in chp.c) and is rounded without checking.
+        if np.any((total & 1) & (rows >= self.n)):
+            raise AssertionError("odd i-exponent on a stabilizer row — tableau corrupt")
+        self.rs[rows] = (total >> 1).astype(np.uint8)
+        self.xs[rows] ^= self.xs[src]
+        self.zs[rows] ^= self.zs[src]
+
+    def _accumulate_product(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+        """Product of stabilizer rows ``rows`` into a scratch Pauli;
+        returns (x, z, phase_bit)."""
+        x = np.zeros(self.n, dtype=np.uint8)
+        z = np.zeros(self.n, dtype=np.uint8)
+        phase = 0
+        for row in rows:
+            g_sum = int(g_exponents(x, z, self.xs[row], self.zs[row]).sum())
+            total = (2 * phase + 2 * int(self.rs[row]) + g_sum) % 4
+            if total & 1:
+                raise AssertionError("odd i-exponent in scratch product")
+            phase = total >> 1
+            x ^= self.xs[row]
+            z ^= self.zs[row]
+        return x, z, phase
+
+    # -- measurement ----------------------------------------------------------
+
+    def measure(
+        self,
+        qubit: int,
+        rng: np.random.Generator | None = None,
+        forced_outcome=None,
+    ) -> tuple[int, bool]:
+        """Computational-basis measurement.  Returns (outcome, was_random).
+
+        Random outcomes use ``forced_outcome`` when given (an int, or a
+        zero-argument callable evaluated only when the outcome really is
+        random), otherwise draw from ``rng``.
+        """
+        n = self.n
+        stab_candidates = np.nonzero(self.xs[n:, qubit])[0]
+        if stab_candidates.size:
+            p = n + int(stab_candidates[0])
+            others = np.nonzero(self.xs[:, qubit])[0]
+            others = others[others != p]
+            self.rowsum_many(others, p)
+            # Destabilizer slot remembers the old stabilizer row.
+            self.xs[p - n] = self.xs[p]
+            self.zs[p - n] = self.zs[p]
+            self.rs[p - n] = self.rs[p]
+            self.xs[p] = 0
+            self.zs[p] = 0
+            self.zs[p, qubit] = 1
+            if callable(forced_outcome):
+                outcome = int(forced_outcome())
+            elif forced_outcome is not None:
+                outcome = int(forced_outcome)
+            else:
+                if rng is None:
+                    raise ValueError("random measurement needs an rng")
+                outcome = int(rng.integers(2))
+            self.rs[p] = outcome
+            return outcome, True
+
+        # Determinate: product of stabilizer rows indexed by destabilizer X hits.
+        hits = np.nonzero(self.xs[:n, qubit])[0] + n
+        _, _, phase = self._accumulate_product(hits)
+        return phase, False
+
+    def peek_determined(self, qubit: int) -> int | None:
+        """Outcome of a Z measurement if determinate, else None (no collapse)."""
+        if np.any(self.xs[self.n:, qubit]):
+            return None
+        hits = np.nonzero(self.xs[: self.n, qubit])[0] + self.n
+        _, _, phase = self._accumulate_product(hits)
+        return phase
+
+    # -- introspection -----------------------------------------------------------
+
+    def stabilizers(self) -> list[PauliString]:
+        """Current stabilizer generators as sign-exact Pauli strings."""
+        return [self._row_pauli(self.n + i) for i in range(self.n)]
+
+    def destabilizers(self) -> list[PauliString]:
+        return [self._row_pauli(i) for i in range(self.n)]
+
+    def _row_pauli(self, row: int) -> PauliString:
+        y_count = int(np.count_nonzero(self.xs[row] & self.zs[row]))
+        return PauliString(
+            self.xs[row].copy(),
+            self.zs[row].copy(),
+            2 * int(self.rs[row]) + y_count,
+        )
+
+    def is_valid(self) -> bool:
+        """Check the symplectic pairing of destabilizer/stabilizer rows."""
+        sym = (self.xs @ self.zs.T + self.zs @ self.xs.T) & 1
+        n = self.n
+        expected = np.zeros((2 * n, 2 * n), dtype=np.uint8)
+        idx = np.arange(n)
+        expected[idx, n + idx] = 1
+        expected[n + idx, idx] = 1
+        return bool(np.array_equal(sym.astype(np.uint8), expected))
+
+    def copy(self) -> "Tableau":
+        out = Tableau.__new__(Tableau)
+        out.n = self.n
+        out.xs = self.xs.copy()
+        out.zs = self.zs.copy()
+        out.rs = self.rs.copy()
+        return out

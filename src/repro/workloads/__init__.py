@@ -1,0 +1,15 @@
+"""Benchmark workload generators (the paper's §5 circuit families)."""
+
+from repro.workloads.layered import (
+    layered_random_circuit,
+    fig3a_circuit,
+    fig3b_circuit,
+    fig3c_circuit,
+)
+
+__all__ = [
+    "fig3a_circuit",
+    "fig3b_circuit",
+    "fig3c_circuit",
+    "layered_random_circuit",
+]

@@ -1,0 +1,85 @@
+"""Layered random interaction circuits (paper Fig. 3).
+
+From the figure caption: each circuit has ``n`` qubits and ``n`` layers;
+each layer randomly applies an H, S or I gate to every qubit, then
+applies CNOT gates between randomly selected disjoint pairs, then
+measures a random 5% of the qubits; every qubit is measured at the end.
+
+* Fig. 3a — 5 CNOT pairs per layer;
+* Fig. 3b — ⌊n/2⌋ CNOT pairs per layer;
+* Fig. 3c — like 3b, plus single-qubit depolarizing noise on every qubit
+  in every layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+
+_SINGLE_QUBIT_CHOICES = ("H", "S", "I")
+
+
+def layered_random_circuit(
+    n_qubits: int,
+    n_layers: int | None = None,
+    cnot_pairs_per_layer: int = 5,
+    depolarize_probability: float = 0.0,
+    measure_fraction: float = 0.05,
+    seed: int | None = None,
+) -> Circuit:
+    """Generate one layered random interaction circuit."""
+    if n_qubits < 2:
+        raise ValueError("need at least two qubits")
+    layers = n_layers if n_layers is not None else n_qubits
+    rng = np.random.default_rng(seed)
+    qubits = np.arange(n_qubits)
+    circuit = Circuit()
+
+    for _ in range(layers):
+        # Random H/S/I on every qubit, grouped per gate name.
+        choice = rng.integers(0, len(_SINGLE_QUBIT_CHOICES), size=n_qubits)
+        for g, name in enumerate(_SINGLE_QUBIT_CHOICES):
+            targets = qubits[choice == g]
+            if targets.size and name != "I":
+                circuit.append(name, targets.tolist())
+
+        pairs = min(cnot_pairs_per_layer, n_qubits // 2)
+        if pairs:
+            shuffled = rng.permutation(n_qubits)[: 2 * pairs]
+            circuit.cx(*shuffled.tolist())
+
+        if depolarize_probability > 0:
+            circuit.depolarize1(depolarize_probability, *range(n_qubits))
+
+        n_measured = max(1, int(round(measure_fraction * n_qubits)))
+        measured = np.sort(rng.permutation(n_qubits)[:n_measured])
+        circuit.m(*measured.tolist())
+        circuit.tick()
+
+    circuit.m(*range(n_qubits))
+    return circuit
+
+
+def fig3a_circuit(n_qubits: int, seed: int | None = None) -> Circuit:
+    """Fig. 3a family: 5 CNOT pairs per layer, no noise."""
+    return layered_random_circuit(n_qubits, cnot_pairs_per_layer=5, seed=seed)
+
+
+def fig3b_circuit(n_qubits: int, seed: int | None = None) -> Circuit:
+    """Fig. 3b family: ⌊n/2⌋ CNOT pairs per layer, no noise."""
+    return layered_random_circuit(
+        n_qubits, cnot_pairs_per_layer=n_qubits // 2, seed=seed
+    )
+
+
+def fig3c_circuit(
+    n_qubits: int, depolarize_probability: float = 0.001, seed: int | None = None
+) -> Circuit:
+    """Fig. 3c family: ⌊n/2⌋ CNOT pairs + per-layer depolarization."""
+    return layered_random_circuit(
+        n_qubits,
+        cnot_pairs_per_layer=n_qubits // 2,
+        depolarize_probability=depolarize_probability,
+        seed=seed,
+    )

@@ -1,0 +1,145 @@
+"""Tests for circuit transformation passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit
+from repro.circuit.transforms import (
+    depth,
+    inverse_circuit,
+    inverse_gate_name,
+    moments,
+    remap_qubits,
+    without_noise,
+)
+from repro.tableau import CliffordMap
+
+
+class TestInverseGateNames:
+    @pytest.mark.parametrize("name,expected", [
+        ("H", "H"),
+        ("X", "X"),
+        ("CX", "CX"),
+        ("SWAP", "SWAP"),
+        ("S", "S_DAG"),
+        ("SQRT_X", "SQRT_X_DAG"),
+        ("ISWAP", "ISWAP_DAG"),
+        ("C_XYZ", "C_ZYX"),
+        ("SQRT_ZZ", "SQRT_ZZ_DAG"),
+    ])
+    def test_known_inverses(self, name, expected):
+        assert inverse_gate_name(name) == expected
+
+    def test_involution(self):
+        for name in ("S", "SQRT_Y", "C_XYZ", "ISWAP"):
+            assert inverse_gate_name(inverse_gate_name(name)) == name
+
+
+class TestInverseCircuit:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_circuit_times_inverse_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit()
+        for _ in range(12):
+            if rng.random() < 0.35:
+                a, b = rng.choice(3, 2, replace=False)
+                circuit.append(
+                    str(rng.choice(["CX", "CZ", "ISWAP", "SQRT_XX"])),
+                    [int(a), int(b)],
+                )
+            else:
+                circuit.append(
+                    str(rng.choice(["H", "S", "SQRT_X", "C_XYZ", "Y"])),
+                    [int(rng.integers(3))],
+                )
+        total = circuit + inverse_circuit(circuit)
+        assert CliffordMap.from_circuit(total, 3) == CliffordMap.identity(3)
+
+    def test_repeat_blocks_inverted(self):
+        circuit = Circuit().append_repeat(3, Circuit().s(0))
+        total = circuit + inverse_circuit(circuit)
+        assert CliffordMap.from_circuit(total, 1) == CliffordMap.identity(1)
+
+    def test_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_circuit(Circuit().m(0))
+
+    def test_annotations_dropped(self):
+        circuit = Circuit().h(0).tick()
+        assert [e.name for e in inverse_circuit(circuit).entries] == ["H"]
+
+    def test_pair_order_reversed(self):
+        circuit = Circuit().cx(0, 1, 1, 2)
+        inv = inverse_circuit(circuit)
+        assert inv.entries[0].targets == (1, 2, 0, 1)
+
+
+class TestWithoutNoise:
+    def test_strips_all_noise(self):
+        circuit = (
+            Circuit().h(0).depolarize1(0.1, 0).x_error(0.2, 0).m(0)
+        )
+        clean = without_noise(circuit)
+        assert [e.name for e in clean.entries] == ["H", "M"]
+
+    def test_records_preserved(self):
+        circuit = Circuit().x_error(0.3, 0).mr(0).detector(-1)
+        clean = without_noise(circuit)
+        assert clean.num_measurements == circuit.num_measurements
+        assert clean.num_detectors == circuit.num_detectors
+
+    def test_inside_repeat(self):
+        circuit = Circuit().append_repeat(
+            2, Circuit().depolarize1(0.1, 0).m(0)
+        )
+        assert without_noise(circuit).count_operations()["noise_sites"] == 0
+
+
+class TestRemapQubits:
+    def test_simple_swap(self):
+        circuit = Circuit().cx(0, 1).m(0)
+        remapped = remap_qubits(circuit, {0: 1, 1: 0})
+        assert remapped.entries[0].targets == (1, 0)
+        assert remapped.entries[1].targets == (1,)
+
+    def test_pauli_targets_remapped(self):
+        circuit = Circuit.from_text("E(0.1) X0 Z1")
+        remapped = remap_qubits(circuit, {0: 5})
+        assert str(remapped.entries[0].targets[0]) == "X5"
+
+    def test_rec_targets_untouched(self):
+        circuit = Circuit().m(0).detector(-1)
+        remapped = remap_qubits(circuit, {0: 3})
+        assert str(remapped.entries[1].targets[0]) == "rec[-1]"
+
+    def test_semantics_preserved(self):
+        from repro.core import compile_sampler
+        circuit = Circuit().x(0).cx(0, 1).m(0, 1)
+        remapped = remap_qubits(circuit, {0: 1, 1: 0})
+        a = compile_sampler(circuit).sample(10, np.random.default_rng(0))
+        b = compile_sampler(remapped).sample(10, np.random.default_rng(0))
+        assert np.array_equal(a, b)  # record order follows targets
+
+
+class TestMoments:
+    def test_parallel_gates_share_layer(self):
+        circuit = Circuit().h(0).h(1).cx(0, 1)
+        layers = moments(circuit)
+        assert len(layers) == 2
+        assert len(layers[0]) == 2
+
+    def test_depth_of_serial_chain(self):
+        circuit = Circuit().h(0).s(0).h(0)
+        assert depth(circuit) == 3
+
+    def test_feedback_waits_for_measurement(self):
+        circuit = Circuit.from_text("M 0\nCX rec[-1] 1")
+        layers = moments(circuit)
+        assert len(layers) == 2
+        assert layers[1][0].name == "CX"
+
+    def test_repeat_expanded(self):
+        circuit = Circuit().append_repeat(3, Circuit().h(0))
+        assert depth(circuit) == 3

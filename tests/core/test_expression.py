@@ -1,0 +1,86 @@
+"""Tests for the SymbolicExpression wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.core import SymbolicExpression, SymPhaseSimulator
+
+
+@pytest.fixture()
+def sim():
+    return SymPhaseSimulator.from_circuit(Circuit.from_text(
+        "H 0\nCNOT 0 1\nX_ERROR(0.5) 0\nX_ERROR(0.5) 1\nM 0 1"
+    ))
+
+
+class TestConstruction:
+    def test_zero(self, sim):
+        zero = SymbolicExpression.zero(sim.symbols)
+        assert str(zero) == "0"
+        assert not zero
+
+    def test_constant_one(self, sim):
+        one = SymbolicExpression.constant_one(sim.symbols)
+        assert one.is_constant
+        assert one.constant_part == 1
+
+    def test_of_symbol(self, sim):
+        expr = SymbolicExpression.of_symbol(sim.symbols, 1)
+        assert list(expr.support) == [1]
+
+    def test_of_symbol_range_check(self, sim):
+        with pytest.raises(ValueError):
+            SymbolicExpression.of_symbol(sim.symbols, 99)
+
+
+class TestFromSimulator:
+    def test_measurement_expression_object(self, sim):
+        expr = sim.expression(1)
+        assert set(expr.support.tolist()) == {1, 2, 3}
+        assert str(expr) == sim.measurement_expression(1)
+
+    def test_xor_cancels(self, sim):
+        m0, m1 = sim.expression(0), sim.expression(1)
+        xored = m0 ^ m1
+        # m0 = coin; m1 = X0^X1^coin  =>  m0^m1 = X0^X1.
+        assert set(xored.support.tolist()) == {1, 2}
+
+    def test_detector_expression(self):
+        c = Circuit.from_text(
+            "X_ERROR(0.5) 0\nMR 0\nMR 0\nDETECTOR rec[-1] rec[-2]"
+        )
+        sim = SymPhaseSimulator.from_circuit(c)
+        det = sim.detector_expression(0)
+        assert list(det.support) == [1]
+
+
+class TestAlgebra:
+    def test_self_inverse(self, sim):
+        expr = sim.expression(1)
+        assert not (expr ^ expr)
+
+    def test_equality_and_hash(self, sim):
+        a = sim.expression(0)
+        b = sim.expression(0)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_cross_table_rejected(self, sim):
+        other = SymPhaseSimulator.from_circuit(Circuit().h(0).m(0))
+        with pytest.raises(ValueError):
+            sim.expression(0) ^ other.expression(0)
+
+    def test_evaluate(self, sim):
+        expr = sim.expression(1)  # X0 ^ X1 ^ coin
+        assignment = np.array([1, 1, 0, 1], dtype=np.uint8)
+        assert expr.evaluate(assignment) == 0  # 1 ^ 0 ^ 1
+
+    def test_evaluate_validates(self, sim):
+        with pytest.raises(ValueError):
+            sim.expression(0).evaluate(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            sim.expression(0).evaluate(np.array([1], dtype=np.uint8))
+
+    def test_repr(self, sim):
+        assert "SymbolicExpression" in repr(sim.expression(0))

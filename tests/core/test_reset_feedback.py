@@ -1,0 +1,99 @@
+"""Tests for the §6 extension: resets as symbolic-exponent conditional
+Paulis (X^m with m a measurement expression)."""
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.core import (
+    SymPhaseSimulator,
+    compile_sampler,
+    concrete_replay,
+    random_assignment,
+    substituted_record,
+)
+
+
+class TestResetSemantics:
+    def test_reset_after_superposition_gives_zero(self):
+        c = Circuit().h(0).r(0).m(0)
+        records = compile_sampler(c).sample(200, np.random.default_rng(0))
+        assert not records.any()
+
+    def test_reset_after_x_gives_zero(self):
+        c = Circuit().x(0).r(0).m(0)
+        records = compile_sampler(c).sample(50, np.random.default_rng(0))
+        assert not records.any()
+
+    def test_reset_after_noise_gives_zero(self):
+        c = Circuit().x_error(0.5, 0).r(0).m(0)
+        records = compile_sampler(c).sample(500, np.random.default_rng(0))
+        assert not records.any()
+
+    def test_reset_decouples_entanglement(self):
+        # After resetting half a Bell pair, its partner stays uniformly
+        # random but the reset qubit reads 0.
+        c = Circuit().h(0).cx(0, 1).r(0).m(0, 1)
+        records = compile_sampler(c).sample(20000, np.random.default_rng(0))
+        assert not records[:, 0].any()
+        assert 0.47 < records[:, 1].mean() < 0.53
+
+    def test_mr_preserves_record_then_resets(self):
+        c = Circuit().x(0).mr(0).m(0)
+        records = compile_sampler(c).sample(100, np.random.default_rng(0))
+        assert records[:, 0].all()
+        assert not records[:, 1].any()
+
+    def test_mr_on_entangled_qubit_records_coin(self):
+        c = Circuit().h(0).cx(0, 1).mr(0).m(0, 1)
+        records = compile_sampler(c).sample(20000, np.random.default_rng(0))
+        # First readout is the coin; re-measurement after reset is 0;
+        # partner correlates with the coin.
+        assert 0.47 < records[:, 0].mean() < 0.53
+        assert not records[:, 1].any()
+        assert np.array_equal(records[:, 0], records[:, 2])
+
+    def test_rx_reset(self):
+        c = Circuit().append("RX", [0]).append("MX", [0])
+        records = compile_sampler(c).sample(100, np.random.default_rng(0))
+        assert not records.any()
+
+    def test_ry_reset(self):
+        c = Circuit().append("RY", [0]).append("MY", [0])
+        records = compile_sampler(c).sample(100, np.random.default_rng(0))
+        assert not records.any()
+
+
+class TestFeedbackLinearity:
+    def test_reset_heavy_circuit_linearity(self):
+        """Resets insert symbolic conditional Paulis; substitution must
+        still match concrete replay bit for bit."""
+        rng = np.random.default_rng(3)
+        c = Circuit.from_text("""
+            H 0
+            CX 0 1
+            X_ERROR(0.5) 1
+            MR 0
+            CX 1 0
+            R 1
+            H 1
+            M 0 1
+            MR 0
+            M 0
+        """)
+        sim = SymPhaseSimulator.from_circuit(c)
+        for _ in range(10):
+            assignment = random_assignment(sim, rng)
+            assert np.array_equal(
+                substituted_record(sim, assignment),
+                concrete_replay(c, sim, assignment),
+            )
+
+    def test_reset_symbol_becomes_inert(self):
+        # R on a random qubit consumes a coin that must not leak into
+        # later expressions.
+        c = Circuit().h(0).r(0).h(0).m(0)
+        sim = SymPhaseSimulator.from_circuit(c)
+        final = set(sim.measurement_support(0).tolist())
+        # The final measurement's coin is the *second* symbol; the reset
+        # coin (first symbol) must be absent.
+        assert 1 not in final

@@ -1,0 +1,89 @@
+"""Tests for the symbol table and joint symbol sampling."""
+
+import numpy as np
+
+from repro.core.symbols import SymbolTable
+from repro.gf2 import bitops
+from repro.gf2.transpose import transpose_bitmatrix
+from repro.noise.channels import measurement_group, noise_groups
+from repro.circuit.instructions import Instruction
+
+
+def _dep1_group(p=0.3, qubit=0):
+    return noise_groups(Instruction("DEPOLARIZE1", (qubit,), (p,)))[0]
+
+
+class TestAllocation:
+    def test_indices_start_at_one(self):
+        table = SymbolTable()
+        indices = table.allocate(measurement_group())
+        assert list(indices) == [1]
+
+    def test_sequential_groups(self):
+        table = SymbolTable()
+        first = table.allocate(_dep1_group())
+        second = table.allocate(measurement_group())
+        assert list(first) == [1, 2]
+        assert list(second) == [3]
+        assert table.n_symbols == 3
+        assert table.width == 4
+
+    def test_labels_recorded(self):
+        table = SymbolTable()
+        table.allocate(_dep1_group(), ["a", "b"])
+        assert table.label(1) == "a"
+        assert table.label(2) == "b"
+        assert table.label(0) == "1"
+
+    def test_noise_symbol_indices(self):
+        table = SymbolTable()
+        table.allocate(_dep1_group())
+        table.allocate(measurement_group())
+        table.allocate(_dep1_group())
+        assert list(table.noise_symbol_indices()) == [1, 2, 4, 5]
+
+
+class TestSampling:
+    def test_constant_row_all_ones(self, rng):
+        table = SymbolTable()
+        table.allocate(measurement_group())
+        out = table.sample_symbol_major(100, rng)
+        assert np.array_equal(
+            bitops.unpack_bits(out[0], 100), np.ones(100, dtype=np.uint8)
+        )
+
+    def test_constant_row_padding_clear(self, rng):
+        table = SymbolTable()
+        table.allocate(measurement_group())
+        out = table.sample_symbol_major(70, rng)
+        assert bitops.popcount(out[0]).sum() == 70
+
+    def test_measurement_symbols_fair(self, rng):
+        table = SymbolTable()
+        table.allocate(measurement_group())
+        out = table.sample_symbol_major(40000, rng)
+        density = bitops.popcount(out[1]).sum() / 40000
+        assert 0.48 < density < 0.52
+
+    def test_noise_symbols_follow_joint_distribution(self, rng):
+        table = SymbolTable()
+        table.allocate(_dep1_group(p=0.3))
+        out = table.sample_symbol_major(60000, rng)
+        x_bits = bitops.unpack_bits(out[1], 60000)
+        z_bits = bitops.unpack_bits(out[2], 60000)
+        # Marginals of the (1-p, p/3, p/3, p/3) joint: P(x)=2p/3, P(z)=2p/3,
+        # P(x & z)=p/3.
+        assert abs(x_bits.mean() - 0.2) < 0.01
+        assert abs(z_bits.mean() - 0.2) < 0.01
+        assert abs((x_bits & z_bits).mean() - 0.1) < 0.01
+
+    def test_shot_major_is_transpose_of_symbol_major(self, rng):
+        table = SymbolTable()
+        table.allocate(_dep1_group())
+        table.allocate(measurement_group())
+        seed_rng = np.random.default_rng(99)
+        symbol_major = table.sample_symbol_major(130, seed_rng)
+        seed_rng = np.random.default_rng(99)
+        shot_major = table.sample_shot_major(130, seed_rng)
+        expected = transpose_bitmatrix(symbol_major, table.width, 130)
+        assert np.array_equal(shot_major, expected)

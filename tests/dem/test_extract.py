@@ -1,0 +1,132 @@
+"""Tests for detector-error-model extraction from symbolic phases."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.core import compile_sampler
+from repro.dem import DetectorErrorModel, ErrorMechanism, extract_dem
+from repro.qec import repetition_code_memory, surface_code_memory
+
+
+class TestSmallCircuits:
+    def test_single_x_error(self):
+        c = Circuit().x_error(0.25, 0).mr(0).mr(0).detector(-1, -2)
+        dem = extract_dem(c)
+        assert dem.n_detectors == 1
+        assert len(dem.mechanisms) == 1
+        mech = dem.mechanisms[0]
+        assert mech.probability == 0.25
+        assert mech.detectors == (0,)
+        assert mech.observables == ()
+
+    def test_observable_signature(self):
+        c = (
+            Circuit()
+            .x_error(0.1, 0)
+            .mr(0)
+            .detector(-1)
+            .observable_include(0, -1)
+        )
+        dem = extract_dem(c)
+        assert dem.mechanisms[0].observables == (0,)
+
+    def test_depolarize_gives_three_mechanisms(self):
+        c = Circuit().depolarize1(0.3, 0).mr(0).detector(-1)
+        dem = extract_dem(c)
+        # X, Z, Y patterns of one group; all in one exclusive group.
+        assert len(dem.mechanisms) == 3
+        assert len(dem.groups) == 1
+        probs = sorted(m.probability for m in dem.mechanisms)
+        assert np.allclose(probs, [0.1, 0.1, 0.1])
+
+    def test_invisible_fault_has_empty_signature(self):
+        c = Circuit().z_error(0.2, 0).mr(0).detector(-1)
+        dem = extract_dem(c)
+        assert dem.mechanisms[0].detectors == ()
+        assert dem.mechanisms[0].observables == ()
+
+    def test_min_probability_filter(self):
+        c = Circuit().x_error(0.001, 0).mr(0).detector(-1)
+        assert len(extract_dem(c, min_probability=0.01).mechanisms) == 0
+
+    def test_measurement_symbols_excluded(self):
+        c = Circuit().h(0).m(0).x_error(0.1, 0).mr(0).mr(0).detector(-1, -2)
+        dem = extract_dem(c)
+        assert len(dem.mechanisms) == 1  # only the noise site
+
+    def test_accepts_precompiled_sampler(self):
+        c = Circuit().x_error(0.5, 0).mr(0).detector(-1)
+        sampler = compile_sampler(c)
+        dem = extract_dem(sampler)
+        assert len(dem.mechanisms) == 1
+
+
+class TestQecDems:
+    def test_repetition_dem_is_graphlike(self):
+        c = repetition_code_memory(
+            5, 3, data_flip_probability=0.01, measure_flip_probability=0.01
+        )
+        dem = extract_dem(c)
+        assert dem.graphlike
+        # Every data flip hits <= 2 detectors, every measure flip exactly 2
+        # (or 1 at the time boundary).
+        assert all(1 <= len(m.detectors) <= 2 for m in dem.mechanisms)
+
+    def test_surface_dem_mechanism_count(self):
+        c = surface_code_memory(3, 2, after_clifford_depolarization=0.001)
+        dem = extract_dem(c)
+        # One group per DEPOLARIZE2 site, 15 patterns each.
+        sites = sum(
+            len(i.targets) // 2
+            for i in c.flattened()
+            if i.name == "DEPOLARIZE2"
+        )
+        assert len(dem.groups) == sites
+        assert len(dem.mechanisms) == 15 * sites
+
+    def test_filter_graphlike(self):
+        c = surface_code_memory(3, 2, after_clifford_depolarization=0.01)
+        dem = extract_dem(c)
+        graphlike = dem.filter_graphlike()
+        assert graphlike.graphlike
+        assert len(graphlike.mechanisms) < len(dem.mechanisms)
+
+
+class TestDemSampling:
+    def test_matches_circuit_sampler(self):
+        c = repetition_code_memory(
+            3, 2, data_flip_probability=0.1, measure_flip_probability=0.05
+        )
+        dem = extract_dem(c)
+        det_dem, obs_dem = dem.sample(60000, np.random.default_rng(0))
+        det_circ, obs_circ = compile_sampler(c).sample_detectors(
+            60000, np.random.default_rng(1)
+        )
+        assert np.allclose(
+            det_dem.mean(axis=0), det_circ.mean(axis=0), atol=0.01
+        )
+        assert np.allclose(
+            obs_dem.mean(axis=0), obs_circ.mean(axis=0), atol=0.01
+        )
+
+    def test_detector_error_rates_match_sampling(self):
+        c = repetition_code_memory(3, 2, data_flip_probability=0.08)
+        dem = extract_dem(c)
+        predicted = dem.detector_error_rates()
+        det, _ = dem.sample(60000, np.random.default_rng(2))
+        assert np.allclose(det.mean(axis=0), predicted, atol=0.01)
+
+
+class TestModelValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorMechanism(1.5, (0,), ())
+
+    def test_str_format(self):
+        mech = ErrorMechanism(0.125, (0, 3), (1,))
+        assert str(mech) == "error(0.125) D0 D3 L1"
+
+    def test_graphlike_flag(self):
+        assert ErrorMechanism(0.1, (0, 1), ()).is_graphlike
+        assert not ErrorMechanism(0.1, (0, 1, 2), ()).is_graphlike

@@ -1,0 +1,122 @@
+"""Tests for the Pauli-frame baseline sampler."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.frame import FrameSimulator
+
+
+class TestDeterministicCircuits:
+    def test_fixed_outcomes(self, rng):
+        c = Circuit().x(0).cx(0, 1).m(0, 1)
+        records = FrameSimulator(c).sample(100, rng)
+        assert np.array_equal(records, np.ones((100, 2), dtype=np.uint8))
+
+    def test_empty_record(self, rng):
+        c = Circuit().h(0)
+        assert FrameSimulator(c).sample(10, rng).shape == (10, 0)
+
+    def test_zero_shots_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FrameSimulator(Circuit().m(0)).sample(0, rng)
+
+
+class TestRandomness:
+    def test_plus_state_uniform(self, rng):
+        c = Circuit().h(0).m(0)
+        records = FrameSimulator(c).sample(40000, rng)
+        assert 0.49 < records.mean() < 0.51
+
+    def test_bell_correlation(self, rng):
+        c = Circuit().h(0).cx(0, 1).m(0, 1)
+        records = FrameSimulator(c).sample(20000, rng)
+        assert np.array_equal(records[:, 0], records[:, 1])
+        assert 0.48 < records[:, 0].mean() < 0.52
+
+    def test_ghz_all_equal(self, rng):
+        c = Circuit().h(0).cx(0, 1).cx(1, 2).m(0, 1, 2)
+        records = FrameSimulator(c).sample(5000, rng)
+        assert (records.min(axis=1) == records.max(axis=1)).all()
+
+    def test_repeated_measurement_consistent(self, rng):
+        c = Circuit().h(0).m(0).m(0)
+        records = FrameSimulator(c).sample(5000, rng)
+        assert np.array_equal(records[:, 0], records[:, 1])
+
+    def test_reset_kills_randomness(self, rng):
+        c = Circuit().h(0).r(0).m(0)
+        records = FrameSimulator(c).sample(2000, rng)
+        assert not records.any()
+
+    def test_mx_of_plus_deterministic(self, rng):
+        c = Circuit().h(0).append("MX", [0])
+        records = FrameSimulator(c).sample(500, rng)
+        assert not records.any()
+
+
+class TestNoise:
+    def test_x_error_rate(self, rng):
+        c = Circuit().x_error(0.25, 0).m(0)
+        records = FrameSimulator(c).sample(60000, rng)
+        assert abs(records.mean() - 0.25) < 0.01
+
+    def test_z_error_invisible(self, rng):
+        c = Circuit().z_error(1.0, 0).m(0)
+        records = FrameSimulator(c).sample(100, rng)
+        assert not records.any()
+
+    def test_z_error_visible_after_h(self, rng):
+        c = Circuit().h(0).z_error(1.0, 0).h(0).m(0)
+        records = FrameSimulator(c).sample(100, rng)
+        assert records.all()
+
+    def test_correlated_error(self, rng):
+        c = Circuit.from_text("E(1) X0 X2\nM 0 1 2")
+        records = FrameSimulator(c).sample(50, rng)
+        assert np.array_equal(records.mean(axis=0), [1, 0, 1])
+
+    def test_depolarize1_on_measurement(self, rng):
+        # DEPOLARIZE1(p) flips a Z measurement with probability 2p/3.
+        p = 0.3
+        c = Circuit().depolarize1(p, 0).m(0)
+        records = FrameSimulator(c).sample(60000, rng)
+        assert abs(records.mean() - 2 * p / 3) < 0.01
+
+    def test_noise_independent_across_shots(self, rng):
+        c = Circuit().x_error(0.5, 0).m(0)
+        records = FrameSimulator(c).sample(2000, rng)[:, 0]
+        # Adjacent-shot correlation should be near zero.
+        matches = (records[:-1] == records[1:]).mean()
+        assert 0.45 < matches < 0.55
+
+
+class TestDetectors:
+    def test_detector_definitions_collected(self):
+        c = Circuit().mr(0).mr(0).detector(-1, -2).observable_include(0, -1)
+        sim = FrameSimulator(c)
+        assert len(sim.detectors) == 1
+        assert list(sim.detectors[0]) == [1, 0]
+        assert len(sim.observables) == 1
+
+    def test_noiseless_detectors_silent(self, rng):
+        c = Circuit().h(0).cx(0, 1).m(0, 1).detector(-1, -2)
+        det, _ = FrameSimulator(c).sample_detectors(2000, rng)
+        assert not det.any()
+
+    def test_detector_rate(self, rng):
+        p = 0.15
+        c = Circuit().x_error(p, 0).mr(0).mr(0).detector(-1, -2)
+        det, _ = FrameSimulator(c).sample_detectors(60000, rng)
+        assert abs(det.mean() - p) < 0.01
+
+
+class TestReference:
+    def test_custom_reference_shifts_outputs(self, rng):
+        c = Circuit().m(0, 1)
+        base = FrameSimulator(c).sample(10, rng)
+        shifted = FrameSimulator(
+            c, reference=np.array([1, 0], dtype=np.uint8)
+        ).sample(10, rng)
+        assert np.array_equal(shifted[:, 0], base[:, 0] ^ 1)
+        assert np.array_equal(shifted[:, 1], base[:, 1])

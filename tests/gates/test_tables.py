@@ -1,0 +1,131 @@
+"""Tests for the derived Clifford conjugation tables.
+
+The tables are produced numerically from the unitaries, so these tests
+check (a) the classic textbook rules appear, (b) internal consistency
+(unitarity of the symplectic action, flip correctness against dense
+conjugation), and (c) the basis-change gates used for MX/MY.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gates import conjugation_table, get_gate
+from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
+from repro.gf2.linalg import rank
+from repro.pauli import PauliString, dense_pauli
+
+
+def conjugate_via_table(name: str, pauli: PauliString) -> PauliString:
+    """Push a +1-sign Pauli through a 1q/2q gate using the table."""
+    table = conjugation_table(name)
+    if table.n_qubits == 1:
+        x, z, flip = table.apply_1q(pauli.xs, pauli.zs)
+        out = PauliString(x, z, int(np.count_nonzero(x & z)))
+    else:
+        x1, z1, x2, z2, flip = table.apply_2q(
+            pauli.xs[:1], pauli.zs[:1], pauli.xs[1:], pauli.zs[1:]
+        )
+        x = np.concatenate([x1, x2])
+        z = np.concatenate([z1, z2])
+        out = PauliString(x, z, int(np.count_nonzero(x & z)))
+    if int(np.atleast_1d(flip)[0]):
+        out = out * PauliString(
+            np.zeros_like(out.xs), np.zeros_like(out.zs), 2
+        )
+    return out
+
+
+class TestTextbookRules:
+    def test_h_swaps_x_and_z(self):
+        assert str(conjugate_via_table("H", PauliString.from_str("X"))) == "+Z"
+        assert str(conjugate_via_table("H", PauliString.from_str("Z"))) == "+X"
+        assert str(conjugate_via_table("H", PauliString.from_str("Y"))) == "-Y"
+
+    def test_s_rotates_x_to_y(self):
+        assert str(conjugate_via_table("S", PauliString.from_str("X"))) == "+Y"
+        assert str(conjugate_via_table("S", PauliString.from_str("Z"))) == "+Z"
+        assert str(conjugate_via_table("S", PauliString.from_str("Y"))) == "-X"
+
+    def test_cx_propagation(self):
+        assert str(conjugate_via_table("CX", PauliString.from_str("X_"))) == "+XX"
+        assert str(conjugate_via_table("CX", PauliString.from_str("_X"))) == "+_X"
+        assert str(conjugate_via_table("CX", PauliString.from_str("Z_"))) == "+Z_"
+        assert str(conjugate_via_table("CX", PauliString.from_str("_Z"))) == "+ZZ"
+
+    def test_c_xyz_cycles(self):
+        assert str(conjugate_via_table("C_XYZ", PauliString.from_str("X"))) == "+Y"
+        assert str(conjugate_via_table("C_XYZ", PauliString.from_str("Y"))) == "+Z"
+        assert str(conjugate_via_table("C_XYZ", PauliString.from_str("Z"))) == "+X"
+
+    def test_pauli_gates_flip_anticommuting(self):
+        assert str(conjugate_via_table("X", PauliString.from_str("Z"))) == "-Z"
+        assert str(conjugate_via_table("X", PauliString.from_str("X"))) == "+X"
+        assert str(conjugate_via_table("Z", PauliString.from_str("X"))) == "-X"
+
+
+class TestAllGatesConsistent:
+    @pytest.mark.parametrize("name", sorted(UNITARIES_1Q))
+    def test_1q_tables_match_dense_conjugation(self, name):
+        unitary = UNITARIES_1Q[name]
+        for letter in ("X", "Y", "Z"):
+            pauli = PauliString.from_str(letter)
+            via_table = conjugate_via_table(name, pauli)
+            expected = unitary @ dense_pauli(pauli) @ unitary.conj().T
+            assert np.allclose(dense_pauli(via_table), expected), (
+                f"{name} mishandles {letter}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(UNITARIES_2Q))
+    def test_2q_tables_match_dense_conjugation(self, name):
+        unitary = UNITARIES_2Q[name]
+        for letters in ("X_", "_X", "Z_", "_Z", "YX", "ZY", "XX", "YY"):
+            pauli = PauliString.from_str(letters)
+            via_table = conjugate_via_table(name, pauli)
+            expected = unitary @ dense_pauli(pauli) @ unitary.conj().T
+            assert np.allclose(dense_pauli(via_table), expected), (
+                f"{name} mishandles {letters}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(UNITARIES_1Q) + sorted(UNITARIES_2Q))
+    def test_symplectic_action_invertible(self, name):
+        sym = conjugation_table(name).symplectic_matrix()
+        assert rank(sym) == sym.shape[0]
+
+    @pytest.mark.parametrize("name", sorted(UNITARIES_1Q) + sorted(UNITARIES_2Q))
+    def test_identity_maps_to_identity(self, name):
+        table = conjugation_table(name)
+        assert not np.any(table.outputs[0])
+        assert table.flips[0] == 0
+
+
+class TestBasisChangeGates:
+    def test_h_maps_x_to_plus_z(self):
+        # MX conjugates with H: H X H+ = +Z, so outcomes are unflipped.
+        assert str(conjugate_via_table("H", PauliString.from_str("X"))) == "+Z"
+
+    def test_h_yz_maps_y_to_plus_z(self):
+        # MY conjugates with H_YZ: must send Y to +Z exactly.
+        assert str(conjugate_via_table("H_YZ", PauliString.from_str("Y"))) == "+Z"
+
+    def test_h_yz_self_inverse(self):
+        table = conjugation_table("H_YZ")
+        sym = table.symplectic_matrix()
+        assert np.array_equal((sym @ sym) % 2, np.eye(2, dtype=np.uint8))
+
+
+class TestGateDatabase:
+    def test_aliases_resolve(self):
+        assert get_gate("CNOT").name == "CX"
+        assert get_gate("MZ").name == "M"
+        assert get_gate("E").name == "CORRELATED_ERROR"
+
+    def test_case_insensitive(self):
+        assert get_gate("h").name == "H"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_gate("T")  # T is not Clifford; must not silently work
+
+    def test_non_unitary_has_no_table(self):
+        with pytest.raises(ValueError):
+            get_gate("M").table

@@ -1,0 +1,100 @@
+"""Tests for the BitMatrix wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import BitMatrix
+
+
+class TestConstruction:
+    def test_zero_matrix(self):
+        m = BitMatrix(3, 70)
+        assert m.to_dense().shape == (3, 70)
+        assert not m.to_dense().any()
+
+    def test_from_dense_roundtrip(self, rng):
+        bits = (rng.random((9, 130)) < 0.5).astype(np.uint8)
+        assert np.array_equal(BitMatrix.from_dense(bits).to_dense(), bits)
+
+    def test_identity(self):
+        eye = BitMatrix.identity(5)
+        assert np.array_equal(eye.to_dense(), np.eye(5, dtype=np.uint8))
+
+    def test_random_has_right_density(self, rng):
+        m = BitMatrix.random(50, 128, rng)
+        density = m.to_dense().mean()
+        assert 0.4 < density < 0.6
+
+    def test_bad_word_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BitMatrix(2, 65, np.zeros((2, 1), dtype=np.uint64))
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BitMatrix(-1, 4)
+
+
+class TestElementAccess:
+    def test_get_set(self):
+        m = BitMatrix(4, 100)
+        m[2, 99] = 1
+        assert m[2, 99] == 1
+        assert m[2, 98] == 0
+        m[2, 99] = 0
+        assert m[2, 99] == 0
+
+    def test_equality(self, rng):
+        bits = (rng.random((5, 5)) < 0.5).astype(np.uint8)
+        a = BitMatrix.from_dense(bits)
+        b = BitMatrix.from_dense(bits)
+        assert a == b
+        b[0, 0] = 1 - b[0, 0]
+        assert a != b
+
+
+class TestRowColumnOps:
+    def test_xor_row_into(self, rng):
+        bits = (rng.random((6, 90)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        m.xor_row_into(1, 4)
+        bits[4] ^= bits[1]
+        assert np.array_equal(m.to_dense(), bits)
+
+    def test_swap_rows(self, rng):
+        bits = (rng.random((6, 90)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        m.swap_rows(0, 5)
+        assert np.array_equal(m.to_dense(), bits[[5, 1, 2, 3, 4, 0]])
+
+    def test_xor_column_into(self, rng):
+        bits = (rng.random((20, 70)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        m.xor_column_into(3, 68)
+        bits[:, 68] ^= bits[:, 3]
+        assert np.array_equal(m.to_dense(), bits)
+
+    def test_swap_columns(self, rng):
+        bits = (rng.random((20, 70)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        m.swap_columns(0, 65)
+        expected = bits.copy()
+        expected[:, [0, 65]] = expected[:, [65, 0]]
+        assert np.array_equal(m.to_dense(), expected)
+
+    def test_get_column(self, rng):
+        bits = (rng.random((15, 80)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        assert np.array_equal(m.get_column(77), bits[:, 77])
+
+
+class TestTranspose:
+    def test_matches_dense(self, rng):
+        bits = (rng.random((33, 140)) < 0.5).astype(np.uint8)
+        m = BitMatrix.from_dense(bits)
+        assert np.array_equal(m.transpose().to_dense(), bits.T)
+
+    def test_copy_is_independent(self):
+        m = BitMatrix.identity(3)
+        c = m.copy()
+        c[0, 1] = 1
+        assert m[0, 1] == 0

@@ -1,0 +1,147 @@
+"""Unit tests for packed bit-vector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf2 import bitops
+
+
+class TestWordsFor:
+    def test_zero(self):
+        assert bitops.words_for(0) == 0
+
+    def test_exact_boundaries(self):
+        assert bitops.words_for(64) == 1
+        assert bitops.words_for(65) == 2
+        assert bitops.words_for(128) == 2
+
+    def test_small(self):
+        assert bitops.words_for(1) == 1
+        assert bitops.words_for(63) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.words_for(-1)
+
+
+class TestBitToWord:
+    def test_first_bit(self):
+        word, mask = bitops.bit_to_word(0)
+        assert word == 0 and mask == 1
+
+    def test_word_boundary(self):
+        word, mask = bitops.bit_to_word(64)
+        assert word == 1 and mask == 1
+
+    def test_high_bit(self):
+        word, mask = bitops.bit_to_word(63)
+        assert word == 0 and mask == np.uint64(1) << np.uint64(63)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.bit_to_word(-3)
+
+
+class TestPackUnpack:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=300))
+    def test_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        packed = bitops.pack_bits(arr)
+        assert packed.dtype == np.uint64
+        assert packed.size == bitops.words_for(arr.size)
+        recovered = bitops.unpack_bits(packed, arr.size)
+        assert np.array_equal(recovered, arr)
+
+    def test_bit_positions_little_endian(self):
+        bits = np.zeros(70, dtype=np.uint8)
+        bits[0] = 1
+        bits[65] = 1
+        packed = bitops.pack_bits(bits)
+        assert packed[0] == 1
+        assert packed[1] == 2
+
+    def test_padding_is_zero(self):
+        packed = bitops.pack_bits(np.ones(65, dtype=np.uint8))
+        assert packed[1] == 1  # only bit 64 set, not the padding
+
+    def test_rows_roundtrip(self, rng):
+        bits = (rng.random((17, 131)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        assert packed.shape == (17, 3)
+        assert np.array_equal(bitops.unpack_rows(packed, 131), bits)
+
+    def test_pack_rows_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bitops.pack_rows(np.zeros(5, dtype=np.uint8))
+
+    def test_pack_bits_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bitops.pack_bits(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestBitAccess:
+    def test_get_set_roundtrip(self):
+        words = np.zeros(3, dtype=np.uint64)
+        for index in (0, 1, 63, 64, 100, 191):
+            bitops.set_bit(words, index, 1)
+            assert bitops.get_bit(words, index) == 1
+            bitops.set_bit(words, index, 0)
+            assert bitops.get_bit(words, index) == 0
+
+    def test_xor_bit_twice_is_identity(self):
+        words = np.zeros(2, dtype=np.uint64)
+        bitops.xor_bit(words, 70)
+        assert bitops.get_bit(words, 70) == 1
+        bitops.xor_bit(words, 70)
+        assert bitops.get_bit(words, 70) == 0
+
+    def test_xor_bit_zero_value_noop(self):
+        words = np.zeros(1, dtype=np.uint64)
+        bitops.xor_bit(words, 5, 0)
+        assert words[0] == 0
+
+    def test_get_column(self, rng):
+        bits = (rng.random((10, 80)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        for col in (0, 63, 64, 79):
+            assert np.array_equal(bitops.get_column(packed, col), bits[:, col])
+
+
+class TestParityPopcount:
+    def test_popcount(self):
+        words = np.array([0, 1, 3, 2**64 - 1], dtype=np.uint64)
+        assert np.array_equal(bitops.popcount(words), [0, 1, 2, 64])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_parity_matches_sum(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        packed = bitops.pack_bits(arr)
+        assert bitops.parity_words(packed) == arr.sum() % 2
+
+    def test_parity_axis(self, rng):
+        bits = (rng.random((8, 130)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        expected = bits.sum(axis=1) % 2
+        assert np.array_equal(bitops.parity_words(packed, axis=1), expected)
+
+
+class TestRandomPacked:
+    def test_padding_bits_clear(self, rng):
+        out = bitops.random_packed((50, 2), 100, rng)
+        tail_mask = ~np.uint64((1 << 36) - 1)
+        assert not np.any(out[:, 1] & tail_mask)
+
+    def test_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            bitops.random_packed((5, 1), 100, rng)
+
+    def test_biased_probability(self, rng):
+        out = bitops.random_packed((200, 2), 128, rng, p=0.1)
+        density = bitops.popcount(out).sum() / (200 * 128)
+        assert 0.05 < density < 0.15
+
+    def test_fair_probability(self, rng):
+        out = bitops.random_packed((200, 2), 128, rng)
+        density = bitops.popcount(out).sum() / (200 * 128)
+        assert 0.45 < density < 0.55

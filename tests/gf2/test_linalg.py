@@ -1,0 +1,119 @@
+"""Tests for dense GF(2) elimination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2.linalg import inverse, nullspace, rank, rref, solve
+
+matrix_strategy = st.builds(
+    lambda rows, cols, seed: (
+        np.random.default_rng(seed).random((rows, cols)) < 0.5
+    ).astype(np.uint8),
+    rows=st.integers(1, 20),
+    cols=st.integers(1, 20),
+    seed=st.integers(0, 2**31),
+)
+
+
+class TestRref:
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_strategy)
+    def test_pivots_are_unit_columns(self, m):
+        reduced, pivots = rref(m)
+        for row, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column[row] == 1
+            assert column.sum() == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_strategy)
+    def test_row_space_preserved(self, m):
+        reduced, _ = rref(m)
+        # Every original row must be a combination of reduced rows and
+        # vice versa: equal rank of stacked systems.
+        assert rank(np.vstack([m, reduced])) == rank(m) == rank(reduced)
+
+    def test_input_not_modified(self):
+        m = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        original = m.copy()
+        rref(m)
+        assert np.array_equal(m, original)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rref(np.zeros(4, dtype=np.uint8))
+
+
+class TestRank:
+    def test_identity(self):
+        assert rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_zero(self):
+        assert rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows(self):
+        m = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+        assert rank(m) == 2
+
+
+class TestSolve:
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_strategy, st.integers(0, 2**31))
+    def test_consistent_systems_solved(self, m, seed):
+        local = np.random.default_rng(seed)
+        x_true = (local.random(m.shape[1]) < 0.5).astype(np.uint8)
+        rhs = (m @ x_true) % 2
+        x = solve(m, rhs)
+        assert x is not None
+        assert np.array_equal((m @ x) % 2, rhs)
+
+    def test_inconsistent_returns_none(self):
+        m = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        assert solve(m, np.array([1, 0], dtype=np.uint8)) is None
+
+    def test_bad_rhs_shape(self):
+        with pytest.raises(ValueError):
+            solve(np.eye(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestNullspace:
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_strategy)
+    def test_vectors_annihilated(self, m):
+        basis = nullspace(m)
+        for vector in basis:
+            assert not np.any((m @ vector) % 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_strategy)
+    def test_dimension_formula(self, m):
+        assert nullspace(m).shape[0] == m.shape[1] - rank(m)
+
+    def test_basis_independent(self):
+        m = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        basis = nullspace(m)
+        assert rank(basis) == basis.shape[0]
+
+
+class TestInverse:
+    def test_identity(self):
+        eye = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(inverse(eye), eye)
+
+    def test_roundtrip(self, rng):
+        # Random invertible matrix via random row operations on identity.
+        m = np.eye(6, dtype=np.uint8)
+        for _ in range(40):
+            a, b = rng.choice(6, 2, replace=False)
+            m[a] ^= m[b]
+        inv = inverse(m)
+        assert np.array_equal((m @ inv) % 2, np.eye(6, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            inverse(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            inverse(np.zeros((2, 3), dtype=np.uint8))

@@ -1,0 +1,95 @@
+"""Tests for GF(2) matmul kernels against a naive reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2 import bitops
+from repro.gf2.matmul import mul_dense, mul_packed_abt, mul_sparse_columns
+
+
+def naive_mod2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a.astype(np.int64) @ b.astype(np.int64)) % 2
+
+
+class TestMulDense:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 40), k=st.integers(1, 40), n=st.integers(1, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_matches_naive(self, m, k, n, seed):
+        local = np.random.default_rng(seed)
+        a = (local.random((m, k)) < 0.5).astype(np.uint8)
+        b = (local.random((k, n)) < 0.5).astype(np.uint8)
+        assert np.array_equal(mul_dense(a, b), naive_mod2(a, b))
+
+    def test_uint8_overflow_preserves_parity(self):
+        # 300 ones summed wraps past 255 in uint8; parity must survive.
+        a = np.ones((1, 300), dtype=np.uint8)
+        b = np.ones((300, 1), dtype=np.uint8)
+        assert mul_dense(a, b)[0, 0] == 0
+        b[0, 0] = 0
+        assert mul_dense(a, b)[0, 0] == 1
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            mul_dense(np.zeros((2, 3), dtype=np.uint8),
+                      np.zeros((4, 2), dtype=np.uint8))
+
+
+class TestMulPackedAbt:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 30), n=st.integers(1, 30), k=st.integers(1, 200),
+        seed=st.integers(0, 2**31),
+    )
+    def test_matches_naive(self, m, n, k, seed):
+        local = np.random.default_rng(seed)
+        a = (local.random((m, k)) < 0.5).astype(np.uint8)
+        b = (local.random((n, k)) < 0.5).astype(np.uint8)
+        out = mul_packed_abt(bitops.pack_rows(a), bitops.pack_rows(b))
+        assert np.array_equal(out, naive_mod2(a, b.T))
+
+    def test_chunking_consistent(self, rng):
+        a = (rng.random((600, 100)) < 0.5).astype(np.uint8)
+        b = (rng.random((10, 100)) < 0.5).astype(np.uint8)
+        ap, bp = bitops.pack_rows(a), bitops.pack_rows(b)
+        assert np.array_equal(
+            mul_packed_abt(ap, bp, row_chunk=7),
+            mul_packed_abt(ap, bp, row_chunk=1024),
+        )
+
+    def test_word_count_mismatch(self):
+        with pytest.raises(ValueError):
+            mul_packed_abt(np.zeros((2, 1), dtype=np.uint64),
+                           np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestMulSparseColumns:
+    def test_matches_dense_path(self, rng):
+        k, shots = 50, 300
+        b = (rng.random((k, shots)) < 0.5).astype(np.uint8)
+        b_packed = bitops.pack_rows(b)
+        supports = [
+            np.sort(rng.choice(k, size=rng.integers(0, 6), replace=False))
+            for _ in range(20)
+        ]
+        out = mul_sparse_columns(supports, b_packed)
+        dense_out = bitops.unpack_rows(out, shots)
+        for i, support in enumerate(supports):
+            expected = b[support].sum(axis=0) % 2 if len(support) else 0
+            assert np.array_equal(dense_out[i], np.broadcast_to(expected, (shots,)))
+
+    def test_empty_support_is_zero(self):
+        b = np.ones((3, 1), dtype=np.uint64)
+        out = mul_sparse_columns([np.array([], dtype=np.int64)], b)
+        assert out[0, 0] == 0
+
+    def test_constants_flip_rows(self, rng):
+        b = bitops.pack_rows((rng.random((4, 64)) < 0.5).astype(np.uint8))
+        supports = [np.array([0]), np.array([1])]
+        plain = mul_sparse_columns(supports, b)
+        flipped = mul_sparse_columns(supports, b, constants=np.array([1, 0]))
+        assert np.array_equal(flipped[0], ~plain[0])
+        assert np.array_equal(flipped[1], plain[1])

@@ -1,0 +1,83 @@
+"""Tests for bit-level transposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2 import bitops
+from repro.gf2.transpose import transpose_bitmatrix, transpose_words_64
+
+
+class TestTranspose64:
+    def test_identity_fixed(self):
+        eye = bitops.pack_rows(np.eye(64, dtype=np.uint8))[:, 0]
+        assert np.array_equal(transpose_words_64(eye), eye)
+
+    def test_single_bit_moves(self):
+        block = np.zeros(64, dtype=np.uint64)
+        block[3] = np.uint64(1) << np.uint64(10)  # bit (3, 10)
+        out = transpose_words_64(block)
+        expected = np.zeros(64, dtype=np.uint64)
+        expected[10] = np.uint64(1) << np.uint64(3)
+        assert np.array_equal(out, expected)
+
+    def test_matches_dense_transpose(self, rng):
+        bits = (rng.random((64, 64)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)[:, 0]
+        out = transpose_words_64(packed)
+        assert np.array_equal(bitops.unpack_rows(out[:, None], 64), bits.T)
+
+    def test_involution(self, rng):
+        block = rng.integers(0, 2**64, 64, dtype=np.uint64)
+        assert np.array_equal(
+            transpose_words_64(transpose_words_64(block)), block
+        )
+
+    def test_batched_blocks(self, rng):
+        blocks = rng.integers(0, 2**64, (5, 7, 64), dtype=np.uint64)
+        out = transpose_words_64(blocks)
+        for i in range(5):
+            for j in range(7):
+                assert np.array_equal(
+                    out[i, j], transpose_words_64(blocks[i, j])
+                )
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_words_64(np.zeros(32, dtype=np.uint64))
+
+
+class TestTransposeBitmatrix:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_rows=st.integers(1, 150),
+        n_cols=st.integers(1, 150),
+        seed=st.integers(0, 2**31),
+    )
+    def test_matches_dense(self, n_rows, n_cols, seed):
+        local = np.random.default_rng(seed)
+        bits = (local.random((n_rows, n_cols)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        out = transpose_bitmatrix(packed, n_rows, n_cols)
+        assert out.shape == (n_cols, bitops.words_for(n_rows))
+        assert np.array_equal(bitops.unpack_rows(out, n_rows), bits.T)
+
+    def test_involution(self, rng):
+        bits = (rng.random((90, 200)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        back = transpose_bitmatrix(
+            transpose_bitmatrix(packed, 90, 200), 200, 90
+        )
+        assert np.array_equal(back, packed)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_bitmatrix(np.zeros((3, 1), dtype=np.uint64), 3, 65)
+
+    def test_output_padding_clear(self, rng):
+        bits = np.ones((70, 3), dtype=np.uint8)
+        packed = bitops.pack_rows(bits)
+        out = transpose_bitmatrix(packed, 70, 3)
+        # Output rows have 70 valid bits in 2 words; bits 70..127 must be 0.
+        tail = out[:, 1] >> np.uint64(6)
+        assert not np.any(tail)

@@ -1,0 +1,103 @@
+"""Shared test utilities: random circuit generation and distribution
+comparison between simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import Circuit
+
+SINGLE_QUBIT_GATES = (
+    "H", "S", "S_DAG", "X", "Y", "Z", "SQRT_X", "SQRT_X_DAG",
+    "SQRT_Y", "H_XY", "H_YZ", "C_XYZ", "C_ZYX",
+)
+TWO_QUBIT_GATES = (
+    "CX", "CY", "CZ", "SWAP", "ISWAP", "XCX", "XCZ", "YCY",
+    "SQRT_XX", "SQRT_ZZ",
+)
+MEASUREMENTS = ("M", "MX", "MY")
+RESETS = ("R", "RX", "RY")
+
+
+def random_clifford_circuit(
+    rng: np.random.Generator,
+    n_qubits: int,
+    depth: int,
+    p_two_qubit: float = 0.25,
+    p_noise: float = 0.0,
+    p_measure: float = 0.1,
+    p_reset: float = 0.05,
+    p_feedback: float = 0.0,
+    noise_strength: float = 0.3,
+    final_measure: bool = True,
+) -> Circuit:
+    """A random circuit mixing gates, channels, measurements, resets and
+    (optionally) classically-controlled Paulis."""
+    from repro.circuit import RecTarget
+
+    circuit = Circuit()
+    measured = 0
+    for _ in range(depth):
+        r = rng.random()
+        if r < p_feedback and measured > 0:
+            lookback = -int(rng.integers(1, min(measured, 4) + 1))
+            circuit.append(
+                str(rng.choice(["CX", "CY", "CZ"])),
+                [RecTarget(lookback), int(rng.integers(n_qubits))],
+            )
+        elif r < p_feedback + p_two_qubit and n_qubits >= 2:
+            a, b = rng.choice(n_qubits, 2, replace=False)
+            circuit.append(str(rng.choice(TWO_QUBIT_GATES)), [int(a), int(b)])
+        elif r < p_feedback + p_two_qubit + p_noise:
+            kind = rng.random()
+            qubit = int(rng.integers(n_qubits))
+            if kind < 0.4:
+                circuit.append("DEPOLARIZE1", [qubit], noise_strength)
+            elif kind < 0.6:
+                circuit.append(
+                    str(rng.choice(["X_ERROR", "Y_ERROR", "Z_ERROR"])),
+                    [qubit],
+                    noise_strength,
+                )
+            elif kind < 0.8 and n_qubits >= 2:
+                a, b = rng.choice(n_qubits, 2, replace=False)
+                circuit.append("DEPOLARIZE2", [int(a), int(b)], noise_strength)
+            else:
+                circuit.append(
+                    "PAULI_CHANNEL_1", [qubit],
+                    [noise_strength / 3] * 3,
+                )
+        elif r < p_feedback + p_two_qubit + p_noise + p_measure:
+            circuit.append(
+                str(rng.choice(MEASUREMENTS)), [int(rng.integers(n_qubits))]
+            )
+            measured += 1
+        elif r < p_feedback + p_two_qubit + p_noise + p_measure + p_reset:
+            name = str(rng.choice(RESETS + ("MR",)))
+            circuit.append(name, [int(rng.integers(n_qubits))])
+            if name == "MR":
+                measured += 1
+        else:
+            circuit.append(
+                str(rng.choice(SINGLE_QUBIT_GATES)),
+                [int(rng.integers(n_qubits))],
+            )
+    if final_measure:
+        circuit.m(*range(n_qubits))
+    return circuit
+
+
+def record_distribution(records: np.ndarray) -> dict[int, float]:
+    """Empirical distribution over whole measurement records."""
+    if records.shape[1] > 20:
+        raise ValueError("record too wide for exact distribution comparison")
+    keys = records @ (1 << np.arange(records.shape[1], dtype=np.int64))
+    values, counts = np.unique(keys, return_counts=True)
+    total = records.shape[0]
+    return {int(v): c / total for v, c in zip(values, counts)}
+
+
+def total_variation(p: dict[int, float], q: dict[int, float]) -> float:
+    """Total-variation distance between two record distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)

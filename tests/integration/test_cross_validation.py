@@ -1,0 +1,110 @@
+"""End-to-end cross-validation of the three samplers.
+
+The symbolic sampler (paper's Algorithm 1), the Pauli-frame baseline
+(Stim's algorithm) and the dense statevector oracle must agree as
+*distributions over whole measurement records* on random circuits with
+noise, measurement-basis changes and resets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.core import compile_sampler
+from repro.frame import FrameSimulator
+from repro.reference.statevector import sample_records
+from tests.helpers import (
+    random_clifford_circuit,
+    record_distribution,
+    total_variation,
+)
+
+# TV budget: statevector uses only 3000 shots; for <= 16 outcomes the
+# expected sampling TV is ~sqrt(16 / 3000) / 2 ~ 0.04.  0.08 gives solid
+# margin while still catching real bugs (wrong correlations shift TV by
+# 0.25+).
+_TV_BUDGET = 0.08
+_FAST_SHOTS = 20000
+_ORACLE_SHOTS = 3000
+
+
+def _compare_all(circuit: Circuit, seed: int) -> None:
+    symbolic = compile_sampler(circuit).sample(
+        _FAST_SHOTS, np.random.default_rng(seed)
+    )
+    frame = FrameSimulator(circuit).sample(
+        _FAST_SHOTS, np.random.default_rng(seed + 1)
+    )
+    oracle = sample_records(circuit, _ORACLE_SHOTS, np.random.default_rng(seed + 2))
+
+    d_sym = record_distribution(symbolic)
+    d_frame = record_distribution(frame)
+    d_oracle = record_distribution(oracle)
+
+    assert total_variation(d_sym, d_frame) < _TV_BUDGET / 2, (
+        f"symbolic vs frame diverged: {d_sym} vs {d_frame}"
+    )
+    assert total_variation(d_sym, d_oracle) < _TV_BUDGET, (
+        f"symbolic vs statevector diverged: {d_sym} vs {d_oracle}"
+    )
+    assert total_variation(d_frame, d_oracle) < _TV_BUDGET, (
+        f"frame vs statevector diverged: {d_frame} vs {d_oracle}"
+    )
+
+
+class TestHandPickedCircuits:
+    def test_noisy_bell(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nCNOT 0 1\nDEPOLARIZE1(0.2) 0 1\nM 0 1"
+        ), seed=10)
+
+    def test_basis_changes(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nS 0\nCX 0 1\nH_YZ 1\nMY 0\nMX 1\nM 0 1"
+        ), seed=11)
+
+    def test_mid_circuit_measure_and_feedforwardless_reuse(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nCX 0 1\nM 0\nH 0\nCX 1 0\nX_ERROR(0.3) 0\nM 0 1"
+        ), seed=12)
+
+    def test_resets(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nCX 0 1\nMR 0\nX_ERROR(0.25) 0\nCX 0 1\nM 0 1"
+        ), seed=13)
+
+    def test_two_qubit_noise(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nDEPOLARIZE2(0.4) 0 1\nCZ 0 1\nH 1\nM 0 1"
+        ), seed=14)
+
+    def test_pauli_channel_2(self):
+        args = ",".join(["0.02"] * 15)
+        _compare_all(Circuit.from_text(
+            f"H 0\nCX 0 1\nPAULI_CHANNEL_2({args}) 0 1\nM 0 1"
+        ), seed=15)
+
+    def test_correlated_error(self):
+        _compare_all(Circuit.from_text(
+            "H 0\nE(0.35) X0 Z1\nCX 0 1\nM 0 1"
+        ), seed=16)
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_noisy_circuits(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(2, 4))
+        circuit = random_clifford_circuit(
+            rng, n, depth=14,
+            p_noise=0.25, p_measure=0.1, p_reset=0.08,
+            final_measure=True,
+        )
+        # Cap the record width so exact distribution comparison is viable.
+        while circuit.num_measurements > 7:
+            circuit = random_clifford_circuit(
+                rng, n, depth=14,
+                p_noise=0.25, p_measure=0.05, p_reset=0.05,
+                final_measure=True,
+            )
+        _compare_all(circuit, seed=2000 + seed)

@@ -1,0 +1,187 @@
+"""Tests for classically-controlled Paulis (the paper's §6 extension).
+
+The flagship case is quantum teleportation: its correction step is
+feed-forward, so if `CX rec[-k] q` / `CZ rec[-k] q` are right in every
+simulator, a teleported state must arrive intact in all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.parser import CircuitParseError, parse_circuit
+from repro.core import (
+    SymPhaseSimulator,
+    compile_sampler,
+    concrete_replay,
+    random_assignment,
+    substituted_record,
+)
+from repro.frame import FrameSimulator
+from repro.reference.statevector import sample_records
+from repro.tableau import TableauSimulator
+
+
+def teleport_circuit(prepare: str) -> Circuit:
+    """Teleport the state ``prepare`` builds on qubit 0 onto qubit 2,
+    then measure qubit 2 in the basis that makes the outcome 0."""
+    text = f"""
+        {prepare}
+        H 1
+        CX 1 2
+        CX 0 1
+        H 0
+        M 0 1
+        CX rec[-1] 2
+        CZ rec[-2] 2
+    """
+    return Circuit.from_text(text)
+
+
+class TestParsing:
+    def test_rec_control_parses(self):
+        c = parse_circuit("M 0\nCX rec[-1] 1")
+        assert len(c.entries) == 2
+
+    def test_mixed_pairs(self):
+        c = parse_circuit("M 0\nCX rec[-1] 1 0 2")
+        c.entries[1].validate()
+
+    def test_rec_control_rejected_for_swap(self):
+        with pytest.raises(CircuitParseError):
+            parse_circuit("M 0\nSWAP rec[-1] 1")
+
+    def test_rec_as_second_target_rejected(self):
+        with pytest.raises(CircuitParseError):
+            parse_circuit("M 0\nCX 1 rec[-1]")
+
+
+class TestTeleportation:
+    """Teleporting |1> (prep X) means qubit 2 must read 1 in Z;
+    teleporting |+> (prep H) means qubit 2 must read 0 in X."""
+
+    @pytest.mark.parametrize("prep,basis,expect", [
+        ("X 0", "M", 1),       # |1>  -> Z-measurement reads 1
+        ("H 0", "MX", 0),      # |+>  -> X-measurement reads 0
+        ("X 0\nH 0", "MX", 1), # |->  -> X-measurement reads 1
+        ("", "M", 0),          # |0>  -> Z-measurement reads 0
+    ])
+    def test_symbolic_sampler(self, prep, basis, expect):
+        circuit = teleport_circuit(prep)
+        circuit.append(basis, [2])
+        records = compile_sampler(circuit).sample(
+            2000, np.random.default_rng(0)
+        )
+        # Bell-measurement outcomes are uniform coins...
+        assert 0.45 < records[:, 0].mean() < 0.55
+        assert 0.45 < records[:, 1].mean() < 0.55
+        # ...but the teleported qubit is exact in every shot.
+        assert (records[:, 2] == expect).all()
+
+    @pytest.mark.parametrize("prep,basis,expect", [
+        ("X 0", "M", 1),
+        ("H 0", "MX", 0),
+    ])
+    def test_frame_sampler(self, prep, basis, expect):
+        circuit = teleport_circuit(prep)
+        circuit.append(basis, [2])
+        records = FrameSimulator(circuit).sample(
+            2000, np.random.default_rng(1)
+        )
+        assert (records[:, 2] == expect).all()
+
+    @pytest.mark.parametrize("prep,basis,expect", [
+        ("X 0", "M", 1),
+        ("H 0", "MX", 0),
+    ])
+    def test_tableau_simulator(self, prep, basis, expect):
+        circuit = teleport_circuit(prep)
+        circuit.append(basis, [2])
+        for trial in range(20):
+            sim = TableauSimulator(3, np.random.default_rng(100 + trial))
+            record = sim.run(circuit)
+            assert record[2] == expect
+
+    @pytest.mark.parametrize("prep,basis,expect", [
+        ("X 0", "M", 1),
+        ("H 0", "MX", 0),
+    ])
+    def test_statevector(self, prep, basis, expect):
+        circuit = teleport_circuit(prep)
+        circuit.append(basis, [2])
+        records = sample_records(circuit, 40, np.random.default_rng(2))
+        assert (records[:, 2] == expect).all()
+
+
+class TestFeedbackSemantics:
+    def test_cz_feedback_invisible_in_z_basis(self):
+        c = Circuit.from_text("H 0\nM 0\nCZ rec[-1] 1\nM 1")
+        records = compile_sampler(c).sample(500, np.random.default_rng(0))
+        assert not records[:, 1].any()
+
+    def test_cx_feedback_copies_coin(self):
+        c = Circuit.from_text("H 0\nM 0\nCX rec[-1] 1\nM 1")
+        records = compile_sampler(c).sample(5000, np.random.default_rng(0))
+        assert np.array_equal(records[:, 0], records[:, 1])
+        assert 0.45 < records[:, 0].mean() < 0.55
+
+    def test_cy_feedback_flips_both_bases(self):
+        c = Circuit.from_text("X 0\nM 0\nCY rec[-1] 1\nM 1")
+        records = compile_sampler(c).sample(100, np.random.default_rng(0))
+        assert records[:, 1].all()
+
+    def test_feedback_on_noisy_record(self):
+        # The feedback exponent carries the fault symbol with it.
+        c = Circuit.from_text("X_ERROR(0.4) 0\nM 0\nCX rec[-1] 1\nM 1")
+        records = compile_sampler(c).sample(40000, np.random.default_rng(0))
+        assert np.array_equal(records[:, 0], records[:, 1])
+        assert abs(records[:, 0].mean() - 0.4) < 0.01
+
+    def test_deep_lookback(self):
+        c = Circuit.from_text("X 0\nM 0\nH 1\nM 1\nCX rec[-2] 2\nM 2")
+        records = compile_sampler(c).sample(200, np.random.default_rng(0))
+        assert records[:, 2].all()
+
+    def test_lookback_too_deep_rejected(self):
+        c = Circuit.from_text("M 0\nCX rec[-2] 1")
+        with pytest.raises(ValueError):
+            SymPhaseSimulator.from_circuit(c)
+
+
+class TestFeedbackLinearity:
+    def test_substitution_equals_replay(self):
+        rng = np.random.default_rng(5)
+        c = Circuit.from_text("""
+            H 0
+            CX 0 1
+            X_ERROR(0.5) 0
+            M 0
+            CX rec[-1] 1
+            DEPOLARIZE1(0.3) 1
+            M 1
+            CZ rec[-1] 0
+            H 0
+            M 0
+        """)
+        sim = SymPhaseSimulator.from_circuit(c)
+        for _ in range(12):
+            assignment = random_assignment(sim, rng)
+            assert np.array_equal(
+                substituted_record(sim, assignment),
+                concrete_replay(c, sim, assignment),
+            )
+
+    def test_teleportation_distribution_cross_check(self):
+        from tests.helpers import record_distribution, total_variation
+
+        circuit = teleport_circuit("H 0\nS 0")  # teleport |+i>
+        circuit.append("MY", [2])
+        sym = compile_sampler(circuit).sample(20000, np.random.default_rng(0))
+        frame = FrameSimulator(circuit).sample(20000, np.random.default_rng(1))
+        oracle = sample_records(circuit, 2000, np.random.default_rng(2))
+        assert total_variation(
+            record_distribution(sym), record_distribution(frame)
+        ) < 0.04
+        assert total_variation(
+            record_distribution(sym), record_distribution(oracle)
+        ) < 0.08

@@ -1,0 +1,38 @@
+"""Distribution-level agreement of all samplers on random circuits that
+include classically-controlled Paulis."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_sampler
+from repro.frame import FrameSimulator
+from repro.reference.statevector import sample_records
+from tests.helpers import (
+    random_clifford_circuit,
+    record_distribution,
+    total_variation,
+)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_feedback_circuits_agree(seed):
+    rng = np.random.default_rng(4000 + seed)
+    n = int(rng.integers(2, 4))
+    circuit = None
+    while circuit is None or circuit.num_measurements > 7:
+        circuit = random_clifford_circuit(
+            rng, n, depth=16,
+            p_noise=0.15, p_measure=0.15, p_reset=0.05, p_feedback=0.15,
+            final_measure=True,
+        )
+    sym = compile_sampler(circuit).sample(20000, np.random.default_rng(seed))
+    frame = FrameSimulator(circuit).sample(
+        20000, np.random.default_rng(seed + 1)
+    )
+    oracle = sample_records(circuit, 2500, np.random.default_rng(seed + 2))
+
+    d_sym = record_distribution(sym)
+    d_frame = record_distribution(frame)
+    d_oracle = record_distribution(oracle)
+    assert total_variation(d_sym, d_frame) < 0.04
+    assert total_variation(d_sym, d_oracle) < 0.09

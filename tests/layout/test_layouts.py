@@ -1,0 +1,114 @@
+"""Tests for the tableau data layouts (paper §4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import RowMajorLayout, TiledLayout, make_layout
+
+_KINDS = ("chp", "stim8", "symphase512")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", _KINDS)
+    def test_load_to_dense(self, kind, rng):
+        bits = (rng.random((100, 100)) < 0.5).astype(np.uint8)
+        layout = make_layout(kind, 100)
+        layout.load_dense(bits)
+        assert np.array_equal(layout.to_dense(), bits)
+
+    @pytest.mark.parametrize("kind", _KINDS)
+    def test_larger_than_one_block(self, kind, rng):
+        bits = (rng.random((600, 600)) < 0.5).astype(np.uint8)
+        layout = make_layout(kind, 600)
+        layout.load_dense(bits)
+        assert np.array_equal(layout.to_dense(), bits)
+
+
+class TestOperationEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.sampled_from([64, 130, 530]))
+    def test_all_layouts_agree_on_random_op_sequences(self, seed, n):
+        local = np.random.default_rng(seed)
+        bits = (local.random((n, n)) < 0.5).astype(np.uint8)
+        ops = []
+        for _ in range(15):
+            kind = "row" if local.random() < 0.5 else "col"
+            a, b = local.choice(n, 2, replace=False)
+            ops.append((kind, int(a), int(b)))
+
+        results = []
+        for kind in _KINDS:
+            layout = make_layout(kind, n)
+            layout.load_dense(bits)
+            for op, a, b in ops:
+                if op == "row":
+                    layout.set_mode("measure")
+                    layout.row_xor(a, b)
+                else:
+                    layout.set_mode("gate")
+                    layout.column_xor(a, b)
+            results.append(layout.to_dense())
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_reference_semantics(self, rng):
+        n = 96
+        bits = (rng.random((n, n)) < 0.5).astype(np.uint8)
+        expected = bits.copy()
+        expected[7] ^= expected[3]
+        expected[:, 11] ^= expected[:, 90]
+
+        layout = make_layout("symphase512", n)
+        layout.load_dense(bits)
+        layout.set_mode("measure")
+        layout.row_xor(3, 7)
+        layout.set_mode("gate")
+        layout.column_xor(90, 11)
+        assert np.array_equal(layout.to_dense(), expected)
+
+
+class TestModeDiscipline:
+    def test_tiled_rejects_wrong_mode(self):
+        layout = TiledLayout(100, tile=64)
+        layout.set_mode("measure")
+        with pytest.raises(RuntimeError):
+            layout.column_xor(0, 1)
+        layout.set_mode("gate")
+        with pytest.raises(RuntimeError):
+            layout.row_xor(0, 1)
+
+    def test_row_major_any_mode(self):
+        layout = RowMajorLayout(64)
+        layout.set_mode("gate")
+        layout.column_xor(0, 1)
+        layout.row_xor(0, 1)  # no mode restriction
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RowMajorLayout(8).set_mode("diagonal")
+        with pytest.raises(ValueError):
+            TiledLayout(8, tile=64).set_mode("diagonal")
+
+    def test_mode_switch_idempotent(self, rng):
+        layout = TiledLayout(200, tile=64)
+        bits = (rng.random((200, 200)) < 0.5).astype(np.uint8)
+        layout.load_dense(bits)
+        layout.set_mode("measure")
+        layout.set_mode("measure")
+        assert np.array_equal(layout.to_dense(), bits)
+
+
+class TestConstruction:
+    def test_tile_must_be_word_multiple(self):
+        with pytest.raises(ValueError):
+            TiledLayout(100, tile=100)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_layout("columnar", 64)
+
+    def test_random_factory(self, rng):
+        layout = RowMajorLayout.random(128, rng)
+        density = layout.to_dense().mean()
+        assert 0.4 < density < 0.6

@@ -1,0 +1,47 @@
+"""Tests for the vectorized categorical sampler behind noise draws."""
+
+import numpy as np
+import pytest
+
+from repro.noise.channels import sample_patterns_batch
+
+
+class TestShapes:
+    def test_1d(self, rng):
+        out = sample_patterns_batch((0.5, 0.5), (100,), rng)
+        assert out.shape == (100,)
+        assert out.dtype == np.uint8
+
+    def test_2d(self, rng):
+        out = sample_patterns_batch((0.25,) * 4, (7, 50), rng)
+        assert out.shape == (7, 50)
+
+    def test_values_in_range(self, rng):
+        out = sample_patterns_batch((0.1, 0.2, 0.3, 0.4), (5000,), rng)
+        assert out.min() >= 0
+        assert out.max() <= 3
+
+
+class TestDistributions:
+    def test_bernoulli(self, rng):
+        out = sample_patterns_batch((0.7, 0.3), (100_000,), rng)
+        assert abs(out.mean() - 0.3) < 0.01
+
+    def test_categorical_16(self, rng):
+        probs = [0.85] + [0.01] * 15
+        out = sample_patterns_batch(tuple(probs), (200_000,), rng)
+        freqs = np.bincount(out, minlength=16) / 200_000
+        assert np.allclose(freqs, probs, atol=0.005)
+
+    def test_degenerate_certain(self, rng):
+        out = sample_patterns_batch((0.0, 1.0), (100,), rng)
+        assert (out == 1).all()
+
+    def test_unnormalized_probabilities_renormalized(self, rng):
+        out = sample_patterns_batch((2.0, 2.0), (50_000,), rng)
+        assert abs(out.mean() - 0.5) < 0.02
+
+    def test_rows_independent(self, rng):
+        out = sample_patterns_batch((0.5, 0.5), (2, 50_000), rng)
+        agreement = (out[0] == out[1]).mean()
+        assert 0.48 < agreement < 0.52

@@ -1,0 +1,125 @@
+"""Tests for phase-exact Pauli algebra, validated against dense matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pauli import PauliString, dense_pauli
+
+
+def random_pauli(seed: int, n_qubits: int) -> PauliString:
+    local = np.random.default_rng(seed)
+    return PauliString(
+        local.integers(0, 2, n_qubits).astype(np.uint8),
+        local.integers(0, 2, n_qubits).astype(np.uint8),
+        int(local.integers(0, 4)),
+    )
+
+
+pauli_strategy = st.builds(
+    random_pauli, seed=st.integers(0, 2**31), n_qubits=st.integers(1, 4)
+)
+
+
+class TestParsing:
+    def test_simple(self):
+        p = PauliString.from_str("+XYZ_")
+        assert str(p) == "+XYZ_"
+
+    def test_negative(self):
+        assert str(PauliString.from_str("-ZZ")) == "-ZZ"
+
+    def test_imaginary(self):
+        p = PauliString.from_str("iX")
+        assert p.phase_exponent == 1
+        assert not p.is_hermitian
+
+    def test_identity_char_variants(self):
+        assert PauliString.from_str("I_") == PauliString.identity(2)
+
+    def test_invalid_char(self):
+        with pytest.raises(ValueError):
+            PauliString.from_str("XQ")
+
+    @given(pauli_strategy)
+    def test_str_roundtrip(self, p):
+        assert PauliString.from_str(str(p)) == p
+
+    def test_single(self):
+        p = PauliString.single(4, 2, "Y")
+        assert str(p) == "+__Y_"
+
+
+class TestAlgebraVsDense:
+    @settings(max_examples=50, deadline=None)
+    @given(pauli_strategy, st.integers(0, 2**31))
+    def test_product_matches_dense(self, p, seed):
+        q = random_pauli(seed, p.n_qubits)
+        product = p * q
+        assert np.allclose(
+            dense_pauli(product), dense_pauli(p) @ dense_pauli(q)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(pauli_strategy, st.integers(0, 2**31))
+    def test_commutation_matches_dense(self, p, seed):
+        q = random_pauli(seed, p.n_qubits)
+        pq = dense_pauli(p) @ dense_pauli(q)
+        qp = dense_pauli(q) @ dense_pauli(p)
+        assert p.commutes_with(q) == np.allclose(pq, qp)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pauli_strategy)
+    def test_inverse(self, p):
+        identity = p * p.inverse()
+        assert np.allclose(
+            dense_pauli(identity), np.eye(2**p.n_qubits)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pauli_strategy)
+    def test_hermitian_flag_matches_dense(self, p):
+        dense = dense_pauli(p)
+        assert p.is_hermitian == np.allclose(dense, dense.conj().T)
+
+    def test_sign_bit(self):
+        assert PauliString.from_str("+XY").sign_bit == 0
+        assert PauliString.from_str("-XY").sign_bit == 1
+
+    def test_sign_bit_rejects_non_hermitian(self):
+        with pytest.raises(ValueError):
+            PauliString.from_str("iZ").sign_bit
+
+
+class TestStructure:
+    def test_y_is_ixz(self):
+        y = PauliString.from_str("Y")
+        xz = PauliString.from_str("X") * PauliString.from_str("Z")
+        assert np.allclose(dense_pauli(y), 1j * dense_pauli(xz))
+
+    def test_weight(self):
+        assert PauliString.from_str("X_Y_Z").weight == 3
+        assert PauliString.identity(5).weight == 0
+
+    def test_tensor(self):
+        a = PauliString.from_str("X")
+        b = PauliString.from_str("-Z")
+        assert str(a.tensor(b)) == "-XZ"
+
+    @settings(max_examples=25, deadline=None)
+    @given(pauli_strategy, st.integers(0, 2**31))
+    def test_tensor_matches_kron(self, p, seed):
+        q = random_pauli(seed, 2)
+        assert np.allclose(
+            dense_pauli(p.tensor(q)),
+            np.kron(dense_pauli(p), dense_pauli(q)),
+        )
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PauliString.from_str("X") * PauliString.from_str("XX")
+
+    def test_hashable(self):
+        a = PauliString.from_str("XZ")
+        b = PauliString.from_str("XZ")
+        assert len({a, b}) == 1

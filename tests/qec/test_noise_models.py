@@ -1,0 +1,84 @@
+"""Tests for the circuit-level noise transformer."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.instructions import RepeatBlock
+from repro.qec import NoiseModel, with_noise
+
+
+class TestInsertion:
+    def test_after_1q(self):
+        noisy = NoiseModel(after_1q=0.01).apply(Circuit().h(0))
+        names = [e.name for e in noisy.entries]
+        assert names == ["H", "DEPOLARIZE1"]
+
+    def test_after_2q(self):
+        noisy = NoiseModel(after_2q=0.01).apply(Circuit().cx(0, 1))
+        names = [e.name for e in noisy.entries]
+        assert names == ["CX", "DEPOLARIZE2"]
+
+    def test_before_measure(self):
+        noisy = NoiseModel(before_measure=0.01).apply(Circuit().m(0))
+        names = [e.name for e in noisy.entries]
+        assert names == ["X_ERROR", "M"]
+
+    def test_x_basis_measure_gets_z_error(self):
+        noisy = NoiseModel(before_measure=0.01).apply(
+            Circuit().append("MX", [0])
+        )
+        assert noisy.entries[0].name == "Z_ERROR"
+
+    def test_after_reset(self):
+        noisy = NoiseModel(after_reset=0.01).apply(Circuit().r(0))
+        names = [e.name for e in noisy.entries]
+        assert names == ["R", "X_ERROR"]
+
+    def test_mr_gets_both(self):
+        noisy = NoiseModel(before_measure=0.01, after_reset=0.02).apply(
+            Circuit().mr(0)
+        )
+        names = [e.name for e in noisy.entries]
+        assert names == ["X_ERROR", "MR", "X_ERROR"]
+
+    def test_identity_gate_skipped(self):
+        noisy = NoiseModel(after_1q=0.01).apply(Circuit().append("I", [0]))
+        assert [e.name for e in noisy.entries] == ["I"]
+
+    def test_annotations_untouched(self):
+        c = Circuit().m(0).detector(-1)
+        noisy = NoiseModel(after_1q=0.5).apply(c)
+        assert [e.name for e in noisy.entries] == ["M", "DETECTOR"]
+
+
+class TestRepeatHandling:
+    def test_repeat_bodies_transformed(self):
+        c = Circuit().append_repeat(3, Circuit().h(0).m(0))
+        noisy = NoiseModel(after_1q=0.01).apply(c)
+        block = noisy.entries[0]
+        assert isinstance(block, RepeatBlock)
+        assert [e.name for e in block.body.entries] == ["H", "DEPOLARIZE1", "M"]
+
+    def test_measurement_count_preserved(self):
+        c = Circuit().append_repeat(4, Circuit().mr(0)).m(0)
+        noisy = with_noise(c, 0.01)
+        assert noisy.num_measurements == c.num_measurements
+
+    def test_detector_semantics_preserved(self):
+        import numpy as np
+        from repro.core import compile_sampler
+        c = Circuit().mr(0).mr(0).detector(-1, -2)
+        noiseless_det, _ = compile_sampler(c).sample_detectors(
+            500, np.random.default_rng(0)
+        )
+        assert not noiseless_det.any()
+        noisy = with_noise(c, 0.1)
+        noisy_det, _ = compile_sampler(noisy).sample_detectors(
+            500, np.random.default_rng(0)
+        )
+        assert noisy_det.any()
+
+    def test_original_not_mutated(self):
+        c = Circuit().h(0)
+        with_noise(c, 0.5)
+        assert len(c.entries) == 1

@@ -1,0 +1,88 @@
+"""Tests for the repetition-code memory generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_sampler
+from repro.frame import FrameSimulator
+from repro.qec import repetition_code_memory
+
+
+class TestStructure:
+    def test_qubit_count(self):
+        c = repetition_code_memory(5, 3)
+        assert c.n_qubits == 9  # 5 data + 4 ancilla
+
+    def test_measurement_count(self):
+        c = repetition_code_memory(3, 4)
+        assert c.num_measurements == 4 * 2 + 3
+
+    def test_detector_count(self):
+        c = repetition_code_memory(3, 4)
+        # 2 per round + 2 boundary
+        assert c.num_detectors == 4 * 2 + 2
+
+    def test_one_observable(self):
+        assert repetition_code_memory(3, 2).num_observables == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            repetition_code_memory(1, 3)
+        with pytest.raises(ValueError):
+            repetition_code_memory(3, 0)
+
+
+class TestNoiselessDeterminism:
+    @pytest.mark.parametrize("distance,rounds", [(2, 1), (3, 3), (5, 2), (7, 4)])
+    def test_all_detectors_silent(self, distance, rounds):
+        c = repetition_code_memory(distance, rounds)
+        det, obs = compile_sampler(c).sample_detectors(
+            100, np.random.default_rng(0)
+        )
+        assert not det.any()
+        assert not obs.any()
+
+
+class TestNoisyBehavior:
+    def test_detector_rate_tracks_noise(self):
+        quiet = repetition_code_memory(3, 3, data_flip_probability=0.01)
+        loud = repetition_code_memory(3, 3, data_flip_probability=0.1)
+        rng = np.random.default_rng(0)
+        det_q, _ = compile_sampler(quiet).sample_detectors(4000, rng)
+        det_l, _ = compile_sampler(loud).sample_detectors(4000, rng)
+        assert det_q.mean() < det_l.mean()
+
+    def test_symbolic_and_frame_agree_on_rates(self):
+        c = repetition_code_memory(
+            3, 3, data_flip_probability=0.05, measure_flip_probability=0.05
+        )
+        det_s, obs_s = compile_sampler(c).sample_detectors(
+            20000, np.random.default_rng(1)
+        )
+        det_f, obs_f = FrameSimulator(c).sample_detectors(
+            20000, np.random.default_rng(2)
+        )
+        assert np.allclose(det_s.mean(axis=0), det_f.mean(axis=0), atol=0.015)
+        assert abs(obs_s.mean() - obs_f.mean()) < 0.015
+
+    def test_majority_vote_decoding_beats_raw(self):
+        """Decoding the final data measurements by majority vote must beat
+        the raw single-qubit readout, demonstrating the code works."""
+        p = 0.08
+        c = repetition_code_memory(5, 1, data_flip_probability=p)
+        records = compile_sampler(c).sample(30000, np.random.default_rng(3))
+        data = records[:, -5:]
+        majority = (data.sum(axis=1) > 2).astype(np.uint8)
+        raw_error = data[:, 0].mean()
+        decoded_error = majority.mean()
+        assert decoded_error < raw_error
+        assert decoded_error < 0.02
+
+    def test_measure_flip_probability_only_hits_detectors(self):
+        # Pure measurement noise never corrupts the data observable.
+        c = repetition_code_memory(3, 4, measure_flip_probability=0.2)
+        det, obs = compile_sampler(c).sample_detectors(
+            5000, np.random.default_rng(4)
+        )
+        assert det.any()
+        assert not obs.any()

@@ -1,0 +1,110 @@
+"""Tests for the rotated surface-code generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_sampler
+from repro.frame import FrameSimulator
+from repro.qec import surface_code_memory
+from repro.qec.surface import _build_layout
+
+
+class TestLayout:
+    @pytest.mark.parametrize("d", [2, 3, 5, 7])
+    def test_ancilla_count(self, d):
+        _, x_anc, z_anc = _build_layout(d)
+        assert len(x_anc) + len(z_anc) == d * d - 1
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_balanced_types(self, d):
+        _, x_anc, z_anc = _build_layout(d)
+        assert len(x_anc) == len(z_anc) == (d * d - 1) // 2
+
+    def test_data_count(self):
+        data, _, _ = _build_layout(3)
+        assert len(data) == 9
+
+    def test_qubit_total(self):
+        c = surface_code_memory(3, 1)
+        assert c.n_qubits == 17  # 9 data + 8 ancilla
+
+
+class TestNoiselessDeterminism:
+    @pytest.mark.parametrize("d,rounds,basis", [
+        (2, 1, "Z"), (2, 2, "X"),
+        (3, 1, "Z"), (3, 3, "Z"), (3, 2, "X"),
+        (5, 2, "Z"), (5, 2, "X"),
+    ])
+    def test_detectors_and_observable_silent(self, d, rounds, basis):
+        c = surface_code_memory(d, rounds, basis=basis)
+        det, obs = compile_sampler(c).sample_detectors(
+            64, np.random.default_rng(0)
+        )
+        assert not det.any(), f"d={d} r={rounds} {basis}: detectors fired"
+        assert not obs.any(), f"d={d} r={rounds} {basis}: observable flipped"
+
+    def test_detector_counts(self):
+        d, rounds = 3, 3
+        c = surface_code_memory(d, rounds)
+        n_z = (d * d - 1) // 2
+        expected = n_z + (rounds - 1) * (d * d - 1) + n_z
+        assert c.num_detectors == expected
+
+
+class TestNoisyBehavior:
+    def test_detectors_fire_with_noise(self):
+        c = surface_code_memory(3, 3, after_clifford_depolarization=0.01)
+        det, _ = compile_sampler(c).sample_detectors(
+            2000, np.random.default_rng(1)
+        )
+        assert 0.001 < det.mean() < 0.2
+
+    def test_symbolic_and_frame_agree(self):
+        c = surface_code_memory(
+            3, 2,
+            after_clifford_depolarization=0.01,
+            before_measure_flip_probability=0.01,
+        )
+        det_s, obs_s = compile_sampler(c).sample_detectors(
+            20000, np.random.default_rng(2)
+        )
+        det_f, obs_f = FrameSimulator(c).sample_detectors(
+            20000, np.random.default_rng(3)
+        )
+        assert np.allclose(det_s.mean(axis=0), det_f.mean(axis=0), atol=0.02)
+        assert abs(obs_s.mean() - obs_f.mean()) < 0.02
+
+    def test_sparse_strategy_selected(self):
+        c = surface_code_memory(
+            3, 3,
+            after_clifford_depolarization=0.005,
+            before_measure_flip_probability=0.005,
+        )
+        sampler = compile_sampler(c)
+        assert sampler.choose_strategy() == "sparse"
+
+    def test_measurement_noise_flips_detectors_and_final_readout(self):
+        # before_measure noise hits both ancilla rounds (detectors) and the
+        # final data readout (which carries the observable).
+        c = surface_code_memory(3, 3, before_measure_flip_probability=0.05)
+        det, obs = compile_sampler(c).sample_detectors(
+            3000, np.random.default_rng(4)
+        )
+        assert det.any()
+        # Observable is a distance-3 line of data qubits, each read with a
+        # 5% flip: expect roughly 3 * 0.05 raw flip rate (first order).
+        assert 0.05 < obs.mean() < 0.25
+
+
+class TestValidation:
+    def test_bad_distance(self):
+        with pytest.raises(ValueError):
+            surface_code_memory(1, 1)
+
+    def test_bad_rounds(self):
+        with pytest.raises(ValueError):
+            surface_code_memory(3, 0)
+
+    def test_bad_basis(self):
+        with pytest.raises(ValueError):
+            surface_code_memory(3, 1, basis="Y")

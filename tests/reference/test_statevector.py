@@ -1,0 +1,73 @@
+"""Tests for the dense statevector oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.reference.statevector import StatevectorSimulator, sample_records
+
+
+class TestGates:
+    def test_x_flips(self, rng):
+        sim = StatevectorSimulator(1, rng)
+        sim.apply_gate("X", (0,))
+        assert np.allclose(np.abs(sim.state), [0, 1])
+
+    def test_h_superposes(self, rng):
+        sim = StatevectorSimulator(1, rng)
+        sim.apply_gate("H", (0,))
+        assert np.allclose(np.abs(sim.state) ** 2, [0.5, 0.5])
+
+    def test_cx_entangles(self, rng):
+        sim = StatevectorSimulator(2, rng)
+        sim.apply_gate("H", (0,))
+        sim.apply_gate("CX", (0, 1))
+        assert np.allclose(np.abs(sim.state) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_qubit_ordering_msb_first(self, rng):
+        sim = StatevectorSimulator(2, rng)
+        sim.apply_gate("X", (0,))
+        # Qubit 0 is the most significant bit: state |10> = index 2.
+        assert np.allclose(np.abs(sim.state), [0, 0, 1, 0])
+
+    def test_max_qubits_capped(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(20)
+
+
+class TestMeasurement:
+    def test_collapse_repeatable(self, rng):
+        sim = StatevectorSimulator(1, rng)
+        sim.apply_gate("H", (0,))
+        first = sim._measure(0, "Z")
+        assert sim._measure(0, "Z") == first
+
+    def test_statistics(self, rng):
+        c = Circuit().h(0).m(0)
+        records = sample_records(c, 600, rng)
+        assert 0.42 < records.mean() < 0.58
+
+    def test_bell_correlation(self, rng):
+        c = Circuit().h(0).cx(0, 1).m(0, 1)
+        records = sample_records(c, 200, rng)
+        assert np.array_equal(records[:, 0], records[:, 1])
+
+    def test_mx_of_plus(self, rng):
+        c = Circuit().h(0).append("MX", [0])
+        assert not sample_records(c, 50, rng).any()
+
+    def test_reset(self, rng):
+        c = Circuit().h(0).r(0).m(0)
+        assert not sample_records(c, 50, rng).any()
+
+
+class TestNoise:
+    def test_x_error_rate(self, rng):
+        c = Circuit().x_error(0.4, 0).m(0)
+        records = sample_records(c, 800, rng)
+        assert 0.32 < records.mean() < 0.48
+
+    def test_correlated_error(self, rng):
+        c = Circuit.from_text("E(1) X0 X1\nM 0 1")
+        records = sample_records(c, 20, rng)
+        assert records.all()

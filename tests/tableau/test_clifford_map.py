@@ -1,0 +1,142 @@
+"""Tests for the operator-level CliffordMap, validated against dense
+unitaries on small qubit counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit
+from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
+from repro.pauli import PauliString, dense_pauli
+from repro.tableau import CliffordMap
+
+
+def dense_of_circuit(circuit: Circuit, n: int) -> np.ndarray:
+    out = np.eye(2**n, dtype=complex)
+    for inst in circuit.flattened():
+        name = inst.gate.name
+        if name in UNITARIES_1Q:
+            for q in inst.targets:
+                full = np.array([[1]], dtype=complex)
+                for k in range(n):
+                    full = np.kron(
+                        full, UNITARIES_1Q[name] if k == q else np.eye(2)
+                    )
+                out = full @ out
+        else:
+            for a, b in zip(inst.targets[0::2], inst.targets[1::2]):
+                # build via permutation-free embedding: only for (0,1) on 2q
+                assert n == 2 and (a, b) == (0, 1)
+                out = UNITARIES_2Q[name] @ out
+    return out
+
+
+def random_pauli(rng, n):
+    p = PauliString(
+        rng.integers(0, 2, n).astype(np.uint8),
+        rng.integers(0, 2, n).astype(np.uint8),
+        0,
+    )
+    y = int(np.count_nonzero(p.xs & p.zs))
+    return PauliString(p.xs, p.zs, y + 2 * int(rng.integers(2)))
+
+
+class TestIdentity:
+    def test_identity_fixes_basis(self):
+        ident = CliffordMap.identity(3)
+        x1 = PauliString.single(3, 1, "X")
+        assert ident.conjugate(x1) == x1
+
+    def test_identity_fixes_arbitrary(self, rng):
+        ident = CliffordMap.identity(4)
+        for _ in range(5):
+            p = random_pauli(rng, 4)
+            assert ident.conjugate(p) == p
+
+
+class TestAgainstDense:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_two_qubit_circuits_match_dense(self, seed):
+        local = np.random.default_rng(seed)
+        circuit = Circuit()
+        for _ in range(8):
+            if local.random() < 0.4:
+                circuit.append(
+                    str(local.choice(["CX", "CZ", "ISWAP", "SQRT_XX"])),
+                    [0, 1],
+                )
+            else:
+                circuit.append(
+                    str(local.choice(["H", "S", "SQRT_Y", "H_YZ"])),
+                    [int(local.integers(2))],
+                )
+        cmap = CliffordMap.from_circuit(circuit, 2)
+        unitary = dense_of_circuit(circuit, 2)
+        for letters in ("X_", "Z_", "_X", "_Z", "YY", "XZ"):
+            pauli = PauliString.from_str(letters)
+            expected = unitary @ dense_pauli(pauli) @ unitary.conj().T
+            assert np.allclose(
+                dense_pauli(cmap.conjugate(pauli)), expected
+            )
+
+
+class TestGroupStructure:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(1, 4))
+    def test_inverse_composes_to_identity(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cmap = CliffordMap.random(n, rng, depth=30)
+        assert cmap.then(cmap.inverse()) == CliffordMap.identity(n)
+        assert cmap.inverse().then(cmap) == CliffordMap.identity(n)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_composition_matches_concatenated_circuit(self, seed):
+        rng = np.random.default_rng(seed)
+        c1 = Circuit().h(0).cx(0, 1).s(1)
+        c2 = Circuit().cz(0, 1).append("SQRT_X", [0])
+        both = c1 + c2
+        composed = CliffordMap.from_circuit(c1, 2).then(
+            CliffordMap.from_circuit(c2, 2)
+        )
+        assert composed == CliffordMap.from_circuit(both, 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(2, 4))
+    def test_conjugation_preserves_commutation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cmap = CliffordMap.random(n, rng, depth=25)
+        p = random_pauli(rng, n)
+        q = random_pauli(rng, n)
+        assert cmap.conjugate(p).commutes_with(cmap.conjugate(q)) == \
+            p.commutes_with(q)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(1, 3))
+    def test_conjugation_is_homomorphism(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cmap = CliffordMap.random(n, rng, depth=25)
+        p = random_pauli(rng, n)
+        q = random_pauli(rng, n)
+        assert cmap.conjugate(p * q) == cmap.conjugate(p) * cmap.conjugate(q)
+
+
+class TestValidation:
+    def test_rejects_measurement_circuits(self):
+        with pytest.raises(ValueError):
+            CliffordMap.from_circuit(Circuit().h(0).m(0))
+
+    def test_rejects_odd_images(self):
+        with pytest.raises(ValueError):
+            CliffordMap([PauliString.from_str("X")])
+
+    def test_rejects_non_hermitian_images(self):
+        with pytest.raises(ValueError):
+            CliffordMap([
+                PauliString.from_str("iX"), PauliString.from_str("Z"),
+            ])
+
+    def test_str_rendering(self):
+        text = str(CliffordMap.identity(1))
+        assert "X0 -> +X" in text and "Z0 -> +Z" in text

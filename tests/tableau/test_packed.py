@@ -1,0 +1,121 @@
+"""Tests for the qubit-major packed tableau and hybrid simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit
+from repro.tableau import Tableau, TableauSimulator
+from repro.tableau.packed import PackedTableau, simulate_hybrid
+from tests.helpers import SINGLE_QUBIT_GATES, TWO_QUBIT_GATES
+
+
+def assert_same_state(packed: PackedTableau, tableau: Tableau) -> None:
+    back = packed.to_tableau()
+    assert np.array_equal(back.xs, tableau.xs)
+    assert np.array_equal(back.zs, tableau.zs)
+    assert np.array_equal(back.rs, tableau.rs)
+
+
+class TestConversion:
+    @pytest.mark.parametrize("n", [1, 2, 31, 32, 33, 64, 100])
+    def test_roundtrip_initial(self, n):
+        assert_same_state(PackedTableau(n), Tableau(n))
+
+    def test_from_tableau_roundtrip(self, rng):
+        t = Tableau(5)
+        t.apply_gate("H", (0,))
+        t.apply_gate("CX", (0, 3))
+        t.measure(0, rng)
+        packed = PackedTableau.from_tableau(t)
+        assert_same_state(packed, t)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            PackedTableau(0)
+
+
+class TestGateEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.sampled_from([2, 5, 33, 70]))
+    def test_random_gate_sequences(self, seed, n):
+        local = np.random.default_rng(seed)
+        t = Tableau(n)
+        p = PackedTableau(n)
+        for _ in range(30):
+            if local.random() < 0.4 and n >= 2:
+                a, b = local.choice(n, 2, replace=False)
+                name, targets = str(local.choice(TWO_QUBIT_GATES)), (int(a), int(b))
+            else:
+                name, targets = (
+                    str(local.choice(SINGLE_QUBIT_GATES)),
+                    (int(local.integers(n)),),
+                )
+            t.apply_gate(name, targets)
+            p.apply_gate(name, targets)
+        assert_same_state(p, t)
+
+    def test_padding_stays_clear(self):
+        # n=33 -> 66 rows -> 2 bits of padding in the second word.
+        p = PackedTableau(33)
+        for q in range(33):
+            p.apply_gate("H", (q,))
+            p.apply_gate("X", (q,))
+        tail_used = np.uint64((1 << 2) - 1)
+        assert not np.any(p.xs[:, -1] & ~p._tail_mask)
+        assert not np.any(p.rs[-1] & ~p._tail_mask)
+        del tail_used
+
+
+class TestHybridSimulation:
+    def test_ghz_correlations(self):
+        c = Circuit().h(0).cx(0, 1).cx(1, 2).m(0, 1, 2)
+        for seed in range(10):
+            record = simulate_hybrid(c, np.random.default_rng(seed))
+            assert record[0] == record[1] == record[2]
+
+    def test_random_outcomes_uniform(self):
+        # Every outcome in this circuit is an exact fair coin, so the
+        # hybrid simulator's means must sit near 0.5 (5-sigma bound for
+        # 400 shots is ~0.125).
+        c = Circuit.from_text("""
+            H 0
+            CX 0 1
+            S 1
+            MX 0
+            M 1
+            R 0
+            H 0
+            M 0
+        """)
+        hybrid = np.array([
+            simulate_hybrid(c, np.random.default_rng(s)) for s in range(400)
+        ])
+        assert np.allclose(hybrid.mean(axis=0), 0.5, atol=0.125)
+
+    def test_entangled_structure_preserved_across_mode_switches(self):
+        # MX 0 and M 1 of a Bell pair rotated by S: outcomes of the pair
+        # (m0, m1) must be perfectly correlated in a fixed pattern that
+        # the plain simulator also produces: here S|Bell> gives
+        # MX0 ^ M1 deterministic? Validate against the plain simulator's
+        # *deterministic relations*, not marginals.
+        c = Circuit.from_text("H 0\nCX 0 1\nMX 0 \nMX 1")
+        for seed in range(30):
+            record = simulate_hybrid(c, np.random.default_rng(seed))
+            # Bell state is a +1 eigenstate of XX: MX outcomes agree.
+            assert record[0] == record[1]
+
+    def test_deterministic_outcomes_exact(self):
+        c = Circuit().x(0).cx(0, 1).m(0, 1).r(0, 1).m(0, 1)
+        record = simulate_hybrid(c, np.random.default_rng(0))
+        assert record.tolist() == [1, 1, 0, 0]
+
+    def test_noise_applies(self):
+        c = Circuit().x_error(1.0, 0).m(0)
+        assert simulate_hybrid(c, np.random.default_rng(0))[0] == 1
+
+    def test_mode_switch_count_independent_of_result(self):
+        # Gate-measure-gate-measure forces two full cycles.
+        c = Circuit().h(0).m(0).h(0).m(0).h(0).m(0)
+        record = simulate_hybrid(c, np.random.default_rng(3))
+        assert record.size == 3

@@ -1,0 +1,106 @@
+"""Tests for the single-shot tableau simulator and reference sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.tableau import TableauSimulator, reference_sample
+
+
+class TestBasicRuns:
+    def test_ghz_outcomes_all_equal(self, rng):
+        c = Circuit().h(0).cx(0, 1).cx(1, 2).m(0, 1, 2)
+        for _ in range(20):
+            sim = TableauSimulator(3, rng)
+            record = sim.run(c)
+            assert record[0] == record[1] == record[2]
+
+    def test_x_then_measure(self, rng):
+        c = Circuit().x(0).m(0)
+        assert TableauSimulator(1, rng).run(c)[0] == 1
+
+    def test_mx_of_plus_state(self, rng):
+        c = Circuit().h(0).append("MX", [0])
+        assert TableauSimulator(1, rng).run(c)[0] == 0
+
+    def test_my_of_sqrt_x_state(self, rng):
+        # SQRT_X_DAG |0> is the +1 eigenstate of Y.
+        c = Circuit().append("SQRT_X_DAG", [0]).append("MY", [0])
+        assert TableauSimulator(1, rng).run(c)[0] == 0
+
+    def test_reset_forces_zero(self, rng):
+        c = Circuit().h(0).r(0).m(0)
+        for _ in range(10):
+            assert TableauSimulator(1, rng).run(c)[0] == 0
+
+    def test_reset_x_forces_plus(self, rng):
+        c = Circuit().append("RX", [0]).append("MX", [0])
+        for _ in range(10):
+            assert TableauSimulator(1, rng).run(c)[0] == 0
+
+    def test_mr_records_then_resets(self, rng):
+        c = Circuit().x(0).mr(0).m(0)
+        record = TableauSimulator(1, rng).run(c)
+        assert record[0] == 1  # measured the X-flipped state
+        assert record[1] == 0  # then reset to |0>
+
+    def test_noise_disabled_flag(self, rng):
+        c = Circuit().x_error(1.0, 0).m(0)
+        assert TableauSimulator(1, rng).run(c, disable_noise=True)[0] == 0
+        assert TableauSimulator(1, rng).run(c)[0] == 1
+
+
+class TestNoiseSampling:
+    def test_x_error_rate(self, rng):
+        c = Circuit().x_error(0.3, 0).m(0)
+        flips = [TableauSimulator(1, rng).run(c)[0] for _ in range(500)]
+        assert 0.22 < np.mean(flips) < 0.38
+
+    def test_z_error_invisible_in_z_basis(self, rng):
+        c = Circuit().z_error(1.0, 0).m(0)
+        assert TableauSimulator(1, rng).run(c)[0] == 0
+
+    def test_correlated_error(self, rng):
+        c = Circuit.from_text("E(1) X0 X2\nM 0 1 2")
+        record = TableauSimulator(3, rng).run(c)
+        assert list(record) == [1, 0, 1]
+
+    def test_depolarize2_hits_both_qubits(self, rng):
+        c = Circuit().depolarize2(1.0, 0, 1).m(0, 1)
+        flipped = 0
+        for _ in range(300):
+            record = TableauSimulator(2, rng).run(c)
+            flipped += record.any()
+        # 8 of 15 non-identity pairs flip at least one Z outcome... at
+        # least some shots must show a flip.
+        assert flipped > 100
+
+
+class TestReferenceSample:
+    def test_deterministic(self):
+        c = Circuit().h(0).cx(0, 1).m(0, 1)
+        assert np.array_equal(reference_sample(c), reference_sample(c))
+
+    def test_random_outcomes_pinned_to_zero(self):
+        c = Circuit().h(0).m(0)
+        assert reference_sample(c)[0] == 0
+
+    def test_noise_ignored(self):
+        c = Circuit().x_error(1.0, 0).m(0)
+        assert reference_sample(c)[0] == 0
+
+    def test_deterministic_logic_preserved(self):
+        c = Circuit().x(0).cx(0, 1).m(0, 1)
+        assert list(reference_sample(c)) == [1, 1]
+
+    def test_length_matches_num_measurements(self):
+        c = Circuit().m(0, 1).mr(2).m(0)
+        assert reference_sample(c).size == c.num_measurements
+
+
+class TestErrors:
+    def test_unknown_kind_guard(self, rng):
+        sim = TableauSimulator(1, rng)
+        c = Circuit().append("TICK")  # annotations are fine
+        sim.run(c)
+        assert sim.record == []

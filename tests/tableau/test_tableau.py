@@ -1,0 +1,196 @@
+"""Tests for the concrete A-G tableau."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pauli import PauliString
+from repro.tableau import Tableau
+
+from tests.helpers import SINGLE_QUBIT_GATES, TWO_QUBIT_GATES
+
+
+def random_gate_sequence(tableau, rng, length):
+    n = tableau.n
+    for _ in range(length):
+        if rng.random() < 0.3 and n >= 2:
+            a, b = rng.choice(n, 2, replace=False)
+            tableau.apply_gate(str(rng.choice(TWO_QUBIT_GATES)), (int(a), int(b)))
+        else:
+            tableau.apply_gate(
+                str(rng.choice(SINGLE_QUBIT_GATES)), (int(rng.integers(n)),)
+            )
+
+
+class TestInitialState:
+    def test_initial_stabilizers_are_z(self):
+        t = Tableau(3)
+        assert [str(p) for p in t.stabilizers()] == ["+Z__", "+_Z_", "+__Z"]
+
+    def test_initial_destabilizers_are_x(self):
+        t = Tableau(3)
+        assert [str(p) for p in t.destabilizers()] == ["+X__", "+_X_", "+__X"]
+
+    def test_initial_valid(self):
+        assert Tableau(5).is_valid()
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Tableau(0)
+
+
+class TestGateAction:
+    def test_h_creates_plus_state(self):
+        t = Tableau(1)
+        t.apply_gate("H", (0,))
+        assert str(t.stabilizers()[0]) == "+X"
+
+    def test_bell_state_stabilizers(self):
+        t = Tableau(2)
+        t.apply_gate("H", (0,))
+        t.apply_gate("CX", (0, 1))
+        assert {str(p) for p in t.stabilizers()} == {"+XX", "+ZZ"}
+
+    def test_x_flips_stabilizer_sign(self):
+        t = Tableau(1)
+        t.apply_gate("X", (0,))
+        assert str(t.stabilizers()[0]) == "-Z"
+
+    def test_apply_pauli_matches_gates(self):
+        t1, t2 = Tableau(3), Tableau(3)
+        random_gate_sequence(t1, np.random.default_rng(5), 20)
+        t2.xs, t2.zs, t2.rs = t1.xs.copy(), t1.zs.copy(), t1.rs.copy()
+        t1.apply_gate("X", (0,))
+        t1.apply_gate("Z", (2,))
+        t2.apply_pauli(PauliString.from_str("X_Z"))
+        assert np.array_equal(t1.rs, t2.rs)
+
+    def test_pauli_helpers_match_gates(self):
+        for letter, helper in (("X", "apply_x"), ("Y", "apply_y"), ("Z", "apply_z")):
+            t1, t2 = Tableau(2), Tableau(2)
+            random_gate_sequence(t1, np.random.default_rng(9), 15)
+            t2.xs, t2.zs, t2.rs = t1.xs.copy(), t1.zs.copy(), t1.rs.copy()
+            t1.apply_gate(letter, (1,))
+            getattr(t2, helper)(1)
+            assert np.array_equal(t1.rs, t2.rs)
+            assert np.array_equal(t1.xs, t2.xs)
+
+
+class TestValidityInvariant:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(1, 6))
+    def test_random_circuits_preserve_validity(self, seed, n):
+        rng = np.random.default_rng(seed)
+        t = Tableau(n)
+        random_gate_sequence(t, rng, 30)
+        assert t.is_valid()
+        # interleave measurements
+        for _ in range(4):
+            t.measure(int(rng.integers(n)), rng)
+            assert t.is_valid()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_stabilizers_commute_pairwise(self, seed):
+        rng = np.random.default_rng(seed)
+        t = Tableau(4)
+        random_gate_sequence(t, rng, 25)
+        stabs = t.stabilizers()
+        for i, p in enumerate(stabs):
+            for q in stabs[i + 1:]:
+                assert p.commutes_with(q)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_stabilizer_rows_hermitian(self, seed):
+        rng = np.random.default_rng(seed)
+        t = Tableau(4)
+        random_gate_sequence(t, rng, 25)
+        t.measure(0, rng)
+        for p in t.stabilizers():
+            assert p.is_hermitian
+
+
+class TestMeasurement:
+    def test_z_basis_deterministic_zero(self, rng):
+        t = Tableau(2)
+        outcome, was_random = t.measure(0, rng)
+        assert (outcome, was_random) == (0, False)
+
+    def test_after_x_gate_deterministic_one(self, rng):
+        t = Tableau(1)
+        t.apply_gate("X", (0,))
+        outcome, was_random = t.measure(0, rng)
+        assert (outcome, was_random) == (1, False)
+
+    def test_plus_state_random(self, rng):
+        t = Tableau(1)
+        t.apply_gate("H", (0,))
+        outcome, was_random = t.measure(0, rng)
+        assert was_random
+        # Second measurement must repeat the first (collapse).
+        again, was_random2 = t.measure(0, rng)
+        assert not was_random2
+        assert again == outcome
+
+    def test_forced_outcome(self, rng):
+        t = Tableau(1)
+        t.apply_gate("H", (0,))
+        outcome, _ = t.measure(0, forced_outcome=1)
+        assert outcome == 1
+
+    def test_callable_forced_outcome_only_called_when_random(self):
+        t = Tableau(2)
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return 0
+
+        t.measure(0, forced_outcome=provider)  # deterministic: no call
+        assert calls == []
+        t.apply_gate("H", (1,))
+        t.measure(1, forced_outcome=provider)  # random: one call
+        assert calls == [1]
+
+    def test_bell_correlations(self, rng):
+        for _ in range(20):
+            t = Tableau(2)
+            t.apply_gate("H", (0,))
+            t.apply_gate("CX", (0, 1))
+            m0, _ = t.measure(0, rng)
+            m1, _ = t.measure(1, rng)
+            assert m0 == m1
+
+    def test_random_measurement_without_rng_raises(self):
+        t = Tableau(1)
+        t.apply_gate("H", (0,))
+        with pytest.raises(ValueError):
+            t.measure(0)
+
+    def test_peek_determined(self, rng):
+        t = Tableau(2)
+        assert t.peek_determined(0) == 0
+        t.apply_gate("X", (0,))
+        assert t.peek_determined(0) == 1
+        t.apply_gate("H", (1,))
+        assert t.peek_determined(1) is None
+
+    def test_measurement_statistics_uniform(self, rng):
+        outcomes = []
+        for _ in range(200):
+            t = Tableau(1)
+            t.apply_gate("H", (0,))
+            outcomes.append(t.measure(0, rng)[0])
+        assert 0.4 < np.mean(outcomes) < 0.6
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        t = Tableau(2)
+        t.apply_gate("H", (0,))
+        c = t.copy()
+        before = t.rs.copy()
+        c.apply_gate("X", (0,))  # flips c's phases only
+        assert np.array_equal(t.rs, before)
+        assert not np.array_equal(c.rs, before)

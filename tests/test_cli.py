@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+CIRCUIT_TEXT = """\
+H 0
+CNOT 0 1
+X_ERROR(0.25) 0
+M 0 1
+DETECTOR rec[-1] rec[-2]
+OBSERVABLE_INCLUDE(0) rec[-1]
+"""
+
+
+@pytest.fixture()
+def circuit_file(tmp_path):
+    path = tmp_path / "bell.stim"
+    path.write_text(CIRCUIT_TEXT)
+    return str(path)
+
+
+class TestSample:
+    def test_symbolic_output_shape(self, circuit_file, capsys):
+        assert main(["sample", circuit_file, "--shots", "7", "--seed", "0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 7
+        assert all(len(line) == 2 and set(line) <= {"0", "1"} for line in lines)
+
+    def test_frame_simulator_option(self, circuit_file, capsys):
+        assert main([
+            "sample", circuit_file, "--shots", "5", "--seed", "1",
+            "--simulator", "frame",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+
+    def test_seed_reproducible(self, circuit_file, capsys):
+        main(["sample", circuit_file, "--shots", "20", "--seed", "42"])
+        first = capsys.readouterr().out
+        main(["sample", circuit_file, "--shots", "20", "--seed", "42"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestDetect:
+    def test_detector_output(self, circuit_file, capsys):
+        assert main(["detect", circuit_file, "--shots", "4", "--seed", "0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        # one detector bit + space + one observable bit
+        assert all(len(line) == 3 for line in lines)
+
+
+class TestAnalyze:
+    def test_expressions_printed(self, circuit_file, capsys):
+        assert main(["analyze", circuit_file]) == 0
+        out = capsys.readouterr().out
+        assert "m0 =" in out
+        assert "m1 =" in out
+        assert "symbols" in out
+
+
+class TestStats:
+    def test_counts_printed(self, circuit_file, capsys):
+        assert main(["stats", circuit_file]) == 0
+        out = capsys.readouterr().out
+        assert "qubits:        2" in out
+        assert "measurements:  2" in out
+        assert "detectors:     1" in out

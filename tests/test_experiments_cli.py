@@ -1,0 +1,51 @@
+"""Tests for the experiments command-line entry point and timing utils."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.timing import format_table, time_call
+
+
+class TestTiming:
+    def test_time_call_returns_result(self):
+        elapsed, result = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_best_of_repeats(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return len(calls)
+
+        elapsed, result = time_call(work, repeats=3)
+        assert len(calls) == 3
+        assert result == 3
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 2]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        assert "1.2346" in lines[2]  # floats to 4 decimals
+        # All rows equally wide.
+        assert len(set(len(line) for line in lines)) == 1
+
+
+class TestExperimentsCli:
+    def test_fig3a_tiny(self, capsys):
+        assert main(["fig3a", "--sizes", "8", "--shots", "50"]) == 0
+        assert "fig3a" in capsys.readouterr().out
+
+    def test_sparse(self, capsys):
+        assert main(["sparse", "--shots", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "sparse" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

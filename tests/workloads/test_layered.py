@@ -1,0 +1,80 @@
+"""Tests for the Fig. 3 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_sampler
+from repro.workloads import (
+    fig3a_circuit,
+    fig3b_circuit,
+    fig3c_circuit,
+    layered_random_circuit,
+)
+
+
+class TestStructure:
+    def test_reproducible_with_seed(self):
+        a = layered_random_circuit(10, seed=7)
+        b = layered_random_circuit(10, seed=7)
+        assert a.to_text() == b.to_text()
+
+    def test_different_seeds_differ(self):
+        assert (
+            layered_random_circuit(10, seed=1).to_text()
+            != layered_random_circuit(10, seed=2).to_text()
+        )
+
+    def test_layer_count_defaults_to_n(self):
+        c = layered_random_circuit(12, seed=0)
+        ticks = sum(1 for i in c.flattened() if i.name == "TICK")
+        assert ticks == 12
+
+    def test_final_measurement_covers_all_qubits(self):
+        n = 10
+        c = layered_random_circuit(n, n_layers=3, seed=0)
+        final = c.entries[-1]
+        assert final.name == "M"
+        assert final.targets == tuple(range(n))
+
+    def test_measure_fraction(self):
+        n, layers = 40, 5
+        c = layered_random_circuit(n, n_layers=layers, measure_fraction=0.05,
+                                   seed=0)
+        # 5% of 40 = 2 per layer + final n.
+        assert c.num_measurements == layers * 2 + n
+
+    def test_cnot_pair_count_capped(self):
+        c = layered_random_circuit(4, n_layers=2, cnot_pairs_per_layer=100,
+                                   seed=0)
+        for inst in c.flattened():
+            if inst.name == "CX":
+                assert len(inst.targets) <= 4
+
+    def test_too_few_qubits(self):
+        with pytest.raises(ValueError):
+            layered_random_circuit(1)
+
+
+class TestVariants:
+    def test_fig3a_has_no_noise(self):
+        c = fig3a_circuit(20, seed=0)
+        assert c.count_operations()["noise_sites"] == 0
+
+    def test_fig3b_denser_than_3a(self):
+        a = fig3a_circuit(30, seed=0).count_operations()["gates"]
+        b = fig3b_circuit(30, seed=0).count_operations()["gates"]
+        assert b > a
+
+    def test_fig3c_noise_sites(self):
+        c = fig3c_circuit(20, seed=0)
+        # One DEPOLARIZE1 site per qubit per layer.
+        assert c.count_operations()["noise_sites"] == 20 * 20
+
+    def test_circuits_simulate_cleanly(self):
+        for builder in (fig3a_circuit, fig3b_circuit, fig3c_circuit):
+            circuit = builder(8, seed=3)
+            records = compile_sampler(circuit).sample(
+                64, np.random.default_rng(0)
+            )
+            assert records.shape[0] == 64
+            assert records.shape[1] == circuit.num_measurements
