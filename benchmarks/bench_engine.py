@@ -1,0 +1,72 @@
+"""Collection-engine bench: serial vs pooled shot throughput.
+
+The engine's pitch is that a collection run pays Algorithm 1's
+Initialization once (sampler cache) and then fans pure Eq. 4 sampling +
+decoding chunks across processes.  These benches measure the end-to-end
+chunk stream — sample, decode, aggregate — for one warm task on a live
+runner, serial and pooled, so the ratio is the scheduling + IPC overhead
+versus the parallel speedup (on CI-scale circuits the chunks are small,
+so pooled wins grow with --benchmark-scale and with circuit size).
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine.py
+"""
+
+import pytest
+
+from repro.engine import ChunkRunner, Task, plan_chunks, run_chunk
+from repro.qec import repetition_code_memory
+
+SHOTS = 16_000
+CHUNK_SHOTS = 1_000
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def chunk_specs():
+    circuit = repetition_code_memory(
+        7, rounds=7,
+        data_flip_probability=0.02,
+        measure_flip_probability=0.02,
+    )
+    task = Task(
+        circuit, decoder="matching", max_shots=SHOTS,
+        metadata={"d": 7, "p": 0.02},
+    )
+    specs = plan_chunks(task, SEED, CHUNK_SHOTS)
+    # Warm the in-process cache so the serial bench times sampling +
+    # decoding, not one-off initialization.
+    run_chunk(specs[0])
+    return specs
+
+
+def _drain(runner, specs):
+    shots = errors = 0
+    for result in runner.run(specs):
+        shots += result.shots
+        errors += result.errors
+    return shots, errors
+
+
+def test_engine_serial(benchmark, chunk_specs):
+    benchmark.group = "engine-throughput"
+    with ChunkRunner(workers=1) as runner:
+        shots, _ = benchmark(lambda: _drain(runner, chunk_specs))
+    assert shots == SHOTS
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_engine_pooled(benchmark, chunk_specs, workers):
+    benchmark.group = "engine-throughput"
+    with ChunkRunner(workers=workers) as runner:
+        _drain(runner, chunk_specs)  # warm each worker's sampler cache
+        shots, _ = benchmark(lambda: _drain(runner, chunk_specs))
+    assert shots == SHOTS
+
+
+def test_engine_serial_equals_pooled(chunk_specs):
+    """The determinism contract the bench relies on: identical counts."""
+    with ChunkRunner(workers=1) as serial:
+        counts_serial = _drain(serial, chunk_specs)
+    with ChunkRunner(workers=2) as pooled:
+        counts_pooled = _drain(pooled, chunk_specs)
+    assert counts_serial == counts_pooled

@@ -8,14 +8,17 @@ Public API re-exports the main entry points:
 - :class:`repro.frame.FrameSimulator` — Pauli-frame baseline (Stim's
   sampling algorithm), the comparison target of the paper's evaluation.
 - :class:`repro.tableau.Tableau` — Aaronson–Gottesman tableau.
+- :func:`repro.engine.collect` / :class:`repro.engine.Task` — parallel
+  Monte-Carlo collection engine (``python -m repro collect``).
 """
 
 from repro.circuit import Circuit
 from repro.core import CompiledSampler, SymPhaseSimulator, compile_sampler
 from repro.frame import FrameSimulator
+from repro.rng import as_generator
 from repro.tableau import Tableau
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -23,6 +26,7 @@ __all__ = [
     "FrameSimulator",
     "SymPhaseSimulator",
     "Tableau",
+    "as_generator",
     "compile_sampler",
     "__version__",
 ]

@@ -218,6 +218,40 @@ class Circuit:
                 counts["noise_sites"] += n_ops
         return counts
 
+    # -- identity -----------------------------------------------------------
+
+    _COSMETIC = frozenset({"TICK", "QUBIT_COORDS", "SHIFT_COORDS"})
+
+    def canonical_text(self) -> str:
+        """Canonical serialization: the flattened execution stream.
+
+        REPEAT blocks are expanded and purely cosmetic annotations (TICK,
+        QUBIT_COORDS, SHIFT_COORDS — none of which carry simulation
+        semantics) are dropped, so two circuits with the same canonical
+        text are consumed identically by every simulator in this package.
+        Instruction grouping is preserved: ``H 0 1`` and ``H 0`` + ``H 1``
+        serialize differently (they interleave RNG streams differently).
+        """
+        return "\n".join(
+            str(instruction)
+            for instruction in self.flattened()
+            if instruction.name not in self._COSMETIC
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of :meth:`canonical_text` (sha256 hex).
+
+        Circuits that flatten to the same execution stream — e.g. a
+        ``REPEAT 3 {...}`` block versus its unrolled form, or a parsed
+        round-trip of a builder-constructed circuit — share a
+        fingerprint; any differing gate, target, argument or ordering
+        changes it.  The engine keys its sampler cache and result store
+        on this value.
+        """
+        import hashlib
+
+        return hashlib.sha256(self.canonical_text().encode()).hexdigest()
+
     # -- formatting ---------------------------------------------------------
 
     def to_text(self, indent: str = "") -> str:

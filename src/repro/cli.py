@@ -1,4 +1,4 @@
-"""Command-line interface: sample, analyze and inspect circuits.
+"""Command-line interface: sample, analyze, inspect, and batch-collect.
 
 Usage::
 
@@ -6,6 +6,8 @@ Usage::
     repro detect circuit.stim --shots 1000
     repro analyze circuit.stim          # symbolic measurement expressions
     repro stats circuit.stim            # operation counts
+    repro collect --code both --distances 3,5 --probabilities 0.01,0.02 \\
+        --max-shots 20000 --max-errors 200 --workers 4 --out results.jsonl
 """
 
 from __future__ import annotations
@@ -75,6 +77,92 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _parse_ints(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def build_sweep_tasks(args: argparse.Namespace) -> list:
+    """The CLI's standard sweep: (code family x distance x noise) tasks."""
+    from repro.engine import Task
+    from repro.qec import repetition_code_memory, surface_code_memory
+
+    codes = ["repetition", "surface"] if args.code == "both" else [args.code]
+    tasks = []
+    for code in codes:
+        for distance in _parse_ints(args.distances):
+            for p in _parse_floats(args.probabilities):
+                if code == "repetition":
+                    circuit = repetition_code_memory(
+                        distance,
+                        rounds=args.rounds,
+                        data_flip_probability=p,
+                        measure_flip_probability=p,
+                    )
+                else:
+                    circuit = surface_code_memory(
+                        distance,
+                        rounds=args.rounds,
+                        after_clifford_depolarization=p,
+                        before_measure_flip_probability=p,
+                    )
+                tasks.append(
+                    Task(
+                        circuit,
+                        decoder=args.decoder,
+                        sampler=args.sampler,
+                        max_shots=args.max_shots,
+                        max_errors=args.max_errors,
+                        metadata={
+                            "code": code,
+                            "distance": distance,
+                            "p": p,
+                            "rounds": args.rounds,
+                        },
+                    )
+                )
+    return tasks
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.engine import collect
+
+    tasks = build_sweep_tasks(args)
+    header = (
+        f"{'code':>10} {'d':>3} {'p':>8} {'rounds':>6} | "
+        f"{'shots':>9} {'errors':>7} {'rate':>10} "
+        f"{'wilson 95% CI':>23} {'':>8}"
+    )
+    print(f"collecting {len(tasks)} task(s), workers={args.workers}, "
+          f"seed={args.seed}" + (f", store={args.out}" if args.out else ""))
+    print(header)
+    print("-" * len(header))
+
+    def report(stats) -> None:
+        meta = stats.metadata
+        low, high = stats.wilson()
+        tag = "resumed" if stats.resumed else f"{stats.seconds:7.2f}s"
+        print(
+            f"{meta.get('code', '?'):>10} {meta.get('distance', '?'):>3} "
+            f"{meta.get('p', '?'):>8} {meta.get('rounds', '?'):>6} | "
+            f"{stats.shots:>9} {stats.errors:>7} {stats.error_rate:>10.3e} "
+            f"[{low:.3e}, {high:.3e}] {tag:>8}"
+        )
+
+    collect(
+        tasks,
+        base_seed=args.seed,
+        workers=args.workers,
+        chunk_shots=args.chunk_shots,
+        store=args.out,
+        progress=report,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SymPhase-reproduction stabilizer tools"
@@ -93,12 +181,57 @@ def main(argv: list[str] | None = None) -> int:
                 "--simulator", choices=["symbolic", "frame"], default="symbolic"
             )
 
+    collect_parser = sub.add_parser(
+        "collect",
+        help="batch Monte-Carlo collection over a QEC code sweep",
+        description=(
+            "Estimate logical error rates for a sweep of memory "
+            "experiments using the parallel collection engine.  Results "
+            "stream to a JSONL store; rerunning with the same --out "
+            "resumes, skipping completed rows."
+        ),
+    )
+    collect_parser.add_argument(
+        "--code", choices=["repetition", "surface", "both"], default="both"
+    )
+    collect_parser.add_argument(
+        "--distances", default="3,5",
+        help="comma-separated code distances (default 3,5)",
+    )
+    collect_parser.add_argument(
+        "--probabilities", default="0.005,0.01,0.02",
+        help="comma-separated physical error rates",
+    )
+    collect_parser.add_argument("--rounds", type=int, default=3)
+    collect_parser.add_argument(
+        "--decoder", choices=["matching", "lookup", "none"], default="matching"
+    )
+    collect_parser.add_argument(
+        "--sampler", choices=["symphase", "frame"], default="symphase"
+    )
+    collect_parser.add_argument("--max-shots", type=int, default=10_000)
+    collect_parser.add_argument(
+        "--max-errors", type=int, default=None,
+        help="stop a task early once this many logical errors accumulate",
+    )
+    collect_parser.add_argument("--chunk-shots", type=int, default=2_000)
+    collect_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; counts are identical either way)",
+    )
+    collect_parser.add_argument("--seed", type=int, default=0)
+    collect_parser.add_argument(
+        "--out", default=None,
+        help="JSONL result store path (enables resume)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "sample": _cmd_sample,
         "detect": _cmd_detect,
         "analyze": _cmd_analyze,
         "stats": _cmd_stats,
+        "collect": _cmd_collect,
     }
     return handlers[args.command](args)
 

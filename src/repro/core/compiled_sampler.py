@@ -23,6 +23,7 @@ from repro.core.simulator import SymPhaseSimulator
 from repro.gf2 import bitops
 from repro.gf2.matmul import mul_packed_abt, mul_sparse_columns
 from repro.gf2.transpose import transpose_bitmatrix
+from repro.rng import as_generator
 
 _SPARSE_SUPPORT_THRESHOLD_FRACTION = 0.125
 
@@ -92,22 +93,22 @@ class CompiledSampler:
     # -- sampling -------------------------------------------------------------
 
     def draw_symbols(
-        self, shots: int, rng: np.random.Generator | None = None
+        self, shots: int, rng: int | np.random.Generator | None = None
     ) -> np.ndarray:
         """Draw the symbol-value matrix B (packed symbol-major).
 
         Exposed separately because the paper's Table 1 excludes this cost
         from the algorithm comparison (it is identical for every sampler);
         pass the result to :meth:`sample` via ``symbol_values`` to time
-        the pure Eq. 4 evaluation.
+        the pure Eq. 4 evaluation.  ``rng`` may be an int seed, a
+        Generator, or ``None``.
         """
-        rng = rng or np.random.default_rng()
-        return self.symbols.sample_symbol_major(shots, rng)
+        return self.symbols.sample_symbol_major(shots, as_generator(rng))
 
     def sample(
         self,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: int | np.random.Generator | None = None,
         strategy: str = "auto",
         symbol_values: np.ndarray | None = None,
     ) -> np.ndarray:
@@ -119,15 +120,16 @@ class CompiledSampler:
     def sample_detectors(
         self,
         shots: int,
-        rng: np.random.Generator | None = None,
+        rng: int | np.random.Generator | None = None,
         strategy: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Sample detectors and observables with shared symbol values.
 
         Returns ``(detectors, observables)`` of shapes
         ``(shots, n_det)`` and ``(shots, n_obs)``.
+        ``rng`` may be an int seed, a Generator, or ``None``.
         """
-        rng = rng or np.random.default_rng()
+        rng = as_generator(rng)
         stacked = np.concatenate(
             [self.detector_matrix, self.observable_matrix], axis=0
         )
@@ -138,13 +140,13 @@ class CompiledSampler:
         self,
         matrix: np.ndarray,
         shots: int,
-        rng: np.random.Generator | None,
+        rng: int | np.random.Generator | None,
         strategy: str,
         symbol_values: np.ndarray | None = None,
     ) -> np.ndarray:
         if shots < 1:
             raise ValueError("shots must be positive")
-        rng = rng or np.random.default_rng()
+        rng = as_generator(rng)
         if strategy == "auto":
             strategy = self.choose_strategy()
         if symbol_values is None:

@@ -14,6 +14,16 @@ count logical failures.  This package closes that loop:
 
 from repro.decoders.matching import MatchingDecoder
 from repro.decoders.lookup import LookupDecoder
-from repro.decoders.metrics import logical_error_rate
+from repro.decoders.metrics import (
+    logical_error_rate,
+    shots_per_error,
+    wilson_interval,
+)
 
-__all__ = ["LookupDecoder", "MatchingDecoder", "logical_error_rate"]
+__all__ = [
+    "LookupDecoder",
+    "MatchingDecoder",
+    "logical_error_rate",
+    "shots_per_error",
+    "wilson_interval",
+]

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.rng import as_generator
+
 
 @dataclass(frozen=True)
 class ErrorMechanism:
@@ -61,7 +63,7 @@ class DetectorErrorModel:
     # -- sampling ------------------------------------------------------
 
     def sample(
-        self, shots: int, rng: np.random.Generator | None = None
+        self, shots: int, rng: int | np.random.Generator | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Sample (detectors, observables) directly from the DEM.
 
@@ -71,7 +73,7 @@ class DetectorErrorModel:
         cross-check of the whole extraction (tested against the circuit
         samplers).
         """
-        rng = rng or np.random.default_rng()
+        rng = as_generator(rng)
         detectors = np.zeros((shots, self.n_detectors), dtype=np.uint8)
         observables = np.zeros((shots, self.n_observables), dtype=np.uint8)
         for group in self.groups:

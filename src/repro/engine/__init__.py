@@ -1,0 +1,38 @@
+"""Parallel Monte-Carlo collection engine (sinter-style batch sampling).
+
+Compile once, sample everywhere: the engine amortizes Algorithm 1's
+Initialization through a fingerprint-keyed sampler cache, fans a task's
+shot budget out across worker processes in reproducible chunks, stops
+early once enough logical errors have accumulated, and persists rows to
+a resumable JSONL result store.
+
+Typical use::
+
+    from repro.engine import Task, collect
+
+    tasks = [Task(circuit, decoder="matching", max_shots=100_000,
+                  max_errors=500, metadata={"d": 5, "p": 0.01})]
+    for stats in collect(tasks, workers=4, store="results.jsonl"):
+        print(stats.metadata, stats.error_rate, stats.wilson())
+
+or from the command line: ``python -m repro collect --help``.
+"""
+
+from repro.engine.cache import SamplerCache, shared_cache
+from repro.engine.collector import ResultStore, TaskStats, collect
+from repro.engine.tasks import Task
+from repro.engine.workers import ChunkResult, ChunkRunner, ChunkSpec, plan_chunks, run_chunk
+
+__all__ = [
+    "ChunkResult",
+    "ChunkRunner",
+    "ChunkSpec",
+    "ResultStore",
+    "SamplerCache",
+    "Task",
+    "TaskStats",
+    "collect",
+    "plan_chunks",
+    "run_chunk",
+    "shared_cache",
+]

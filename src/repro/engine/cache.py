@@ -1,0 +1,81 @@
+"""LRU memoization of per-circuit initialization work.
+
+The paper's whole point is that Algorithm 1's Initialization is the
+expensive part and Eq. 4 sampling is cheap; a collection run should
+therefore pay initialization once per distinct circuit, not once per
+chunk.  :class:`SamplerCache` memoizes any fingerprint-keyed artifact —
+compiled samplers, frame simulators, decoders built from extracted DEMs
+— with least-recently-used eviction so unbounded sweeps cannot exhaust
+memory.
+
+Each worker process owns one process-global cache (:func:`shared_cache`):
+forked/spawned workers cannot share Python objects, but because chunks
+of the same task always carry the same fingerprint, every worker pays
+initialization at most once per distinct circuit it touches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class SamplerCache:
+    """Fingerprint-keyed LRU cache with build-on-miss semantics."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building and inserting it
+        on a miss (evicting the least recently used entry if full)."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = build()
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+_SHARED: SamplerCache | None = None
+
+
+def shared_cache() -> SamplerCache:
+    """The process-global cache used by engine workers (one per process)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SamplerCache()
+    return _SHARED
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-global cache (tests / memory pressure)."""
+    global _SHARED
+    _SHARED = None

@@ -1,0 +1,188 @@
+"""Orchestration: run tasks to statistical convergence, resumably.
+
+The collection loop mirrors sinter's shape: plan deterministic chunks,
+stream them through a :class:`~repro.engine.workers.ChunkRunner`
+(serial or pooled), and fold the results in **chunk-index order** into a
+:class:`TaskStats`.  Early stopping is a pure function of that ordered
+fold — a task stops at the first chunk where cumulative errors reach
+``max_errors`` — so serial and pooled runs aggregate exactly the same
+prefix of chunks and report bitwise-identical counts.
+
+Results land in a JSONL :class:`ResultStore` (one row per finished
+task, keyed by the task's content-based ``strong_id``).  Restarting a
+collection against the same store skips every task that already has a
+row, which makes long sweeps cheap to resume after interruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.decoders.metrics import wilson_interval
+from repro.engine.tasks import Task
+from repro.engine.workers import ChunkRunner, plan_chunks
+
+
+@dataclass
+class TaskStats:
+    """Aggregated counts for one task (the engine's unit of reporting)."""
+
+    task_id: str
+    decoder: str
+    sampler: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+    shots: int = 0
+    errors: int = 0
+    seconds: float = 0.0
+    chunks: int = 0
+    base_seed: int | None = None
+    resumed: bool = False
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.shots if self.shots else 0.0
+
+    def wilson(self, z: float = 1.96) -> tuple[float, float]:
+        return wilson_interval(self.errors, self.shots, z)
+
+    def to_row(self) -> dict[str, Any]:
+        low, high = self.wilson()
+        row = asdict(self)
+        row.pop("resumed")
+        row.update(error_rate=self.error_rate, wilson_low=low, wilson_high=high)
+        return row
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "TaskStats":
+        return cls(
+            task_id=row["task_id"],
+            decoder=row.get("decoder", "matching"),
+            sampler=row.get("sampler", "symphase"),
+            metadata=row.get("metadata", {}),
+            shots=int(row["shots"]),
+            errors=int(row["errors"]),
+            seconds=float(row.get("seconds", 0.0)),
+            chunks=int(row.get("chunks", 0)),
+            base_seed=row.get("base_seed"),
+            resumed=True,
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store of finished task rows.
+
+    One line per finished task.  Appends are flushed immediately, so a
+    killed run loses at most the task in flight; duplicate task ids keep
+    the latest row on load.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+
+    def load(self) -> dict[str, TaskStats]:
+        """All stored rows keyed by ``task_id`` (empty if no file yet)."""
+        rows: dict[str, TaskStats] = {}
+        if not os.path.exists(self.path):
+            return rows
+        with open(self.path) as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line is what a killed run leaves
+                    # behind; the row's task simply re-collects.
+                    print(
+                        f"warning: skipping corrupt row at "
+                        f"{self.path}:{number}",
+                        file=sys.stderr,
+                    )
+                    continue
+                rows[row["task_id"]] = TaskStats.from_row(row)
+        return rows
+
+    def append(self, stats: TaskStats) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(stats.to_row()) + "\n")
+            handle.flush()
+
+
+def collect(
+    tasks: Iterable[Task],
+    *,
+    base_seed: int = 0,
+    workers: int = 1,
+    chunk_shots: int = 2_000,
+    store: ResultStore | str | os.PathLike | None = None,
+    progress: Callable[[TaskStats], None] | None = None,
+) -> list[TaskStats]:
+    """Collect statistics for every task; returns one TaskStats per task.
+
+    * ``workers`` — process-pool size (``1`` = in-process serial);
+      aggregate counts are identical for every value, by construction.
+    * ``chunk_shots`` — shots per chunk.  Part of the statistical
+      protocol (it sets the early-stop granularity and the RNG chunking),
+      so changing it changes which shots are drawn — keep it fixed
+      across runs that share a store.
+    * ``store`` — path or :class:`ResultStore`; tasks with an existing
+      row are returned as ``resumed`` without sampling a single shot.
+    * ``progress`` — callback invoked with each finished TaskStats.
+    """
+    task_list = list(tasks)
+    if isinstance(store, (str, os.PathLike)):
+        store = ResultStore(store)
+    completed = store.load() if store is not None else {}
+
+    results: list[TaskStats] = []
+    with ChunkRunner(workers=workers) as runner:
+        for task in task_list:
+            task_id = task.strong_id()
+            stored = completed.get(task_id)
+            # A row only satisfies this run if it was collected under the
+            # same base seed (legacy rows without one are accepted) —
+            # changing --seed must produce fresh, independent counts.
+            if stored is not None and stored.base_seed in (None, base_seed):
+                results.append(stored)
+                if progress is not None:
+                    progress(stored)
+                continue
+            stats = _collect_one(task, runner, base_seed, chunk_shots)
+            if store is not None:
+                store.append(stats)
+            results.append(stats)
+            if progress is not None:
+                progress(stats)
+    return results
+
+
+def _collect_one(
+    task: Task, runner: ChunkRunner, base_seed: int, chunk_shots: int
+) -> TaskStats:
+    """Run one task's chunks through the runner with ordered early stop."""
+    stats = TaskStats(
+        task_id=task.strong_id(),
+        decoder=task.decoder,
+        sampler=task.sampler,
+        metadata=dict(task.metadata),
+        base_seed=base_seed,
+    )
+    specs = plan_chunks(task, base_seed, chunk_shots)
+    wall_start = time.perf_counter()
+    for result in runner.run(specs):
+        stats.shots += result.shots
+        stats.errors += result.errors
+        stats.chunks += 1
+        if task.max_errors is not None and stats.errors >= task.max_errors:
+            break
+    stats.seconds = time.perf_counter() - wall_start
+    return stats

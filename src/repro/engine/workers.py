@@ -1,0 +1,205 @@
+"""Chunked execution of collection tasks, serially or in a process pool.
+
+A task's shot budget is split into fixed-size :class:`ChunkSpec`s.  Each
+chunk is self-contained and picklable — it carries the circuit's text
+serialization, the decoder/sampler choice, and the ``(base_seed,
+task_entropy, chunk_index)`` triple of the derived-seed scheme
+(:mod:`repro.rng`) — so it can run on any worker process in any order
+and still produce exactly the same :class:`ChunkResult`.
+
+Workers keep a process-global :class:`~repro.engine.cache.SamplerCache`;
+the first chunk of a circuit a worker sees pays Algorithm 1's
+Initialization (plus DEM extraction and decoder construction), every
+later chunk is pure Eq. 4 sampling + decoding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.engine.cache import shared_cache
+from repro.engine.tasks import Task
+from repro.rng import chunk_generator
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One self-contained unit of sampling + decoding work."""
+
+    task_id: str
+    fingerprint: str
+    circuit_text: str
+    decoder: str
+    sampler: str
+    chunk_index: int
+    shots: int
+    base_seed: int
+    task_entropy: int
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Counts streamed back from a worker for one chunk."""
+
+    task_id: str
+    chunk_index: int
+    shots: int
+    errors: int
+    seconds: float
+
+
+def plan_chunks(
+    task: Task, base_seed: int, chunk_shots: int
+) -> list[ChunkSpec]:
+    """Split ``task``'s budget into deterministic chunk specs.
+
+    The split depends only on the task and ``chunk_shots``, never on
+    scheduling, so chunk ``i`` is the same work in every run.
+    """
+    if chunk_shots < 1:
+        raise ValueError("chunk_shots must be positive")
+    task_id = task.strong_id()
+    fingerprint = task.circuit_fingerprint()
+    text = task.circuit.to_text()
+    entropy = task.seed_entropy()
+    specs = []
+    remaining = task.max_shots
+    index = 0
+    while remaining > 0:
+        shots = min(chunk_shots, remaining)
+        specs.append(
+            ChunkSpec(
+                task_id=task_id,
+                fingerprint=fingerprint,
+                circuit_text=text,
+                decoder=task.decoder,
+                sampler=task.sampler,
+                chunk_index=index,
+                shots=shots,
+                base_seed=base_seed,
+                task_entropy=entropy,
+            )
+        )
+        remaining -= shots
+        index += 1
+    return specs
+
+
+def _build_sampler(spec: ChunkSpec, circuit):
+    if spec.sampler == "frame":
+        from repro.frame import FrameSimulator
+
+        return FrameSimulator(circuit)
+    from repro.core import compile_sampler
+
+    return compile_sampler(circuit)
+
+
+def _build_decoder(spec: ChunkSpec, circuit):
+    from repro.decoders import LookupDecoder, MatchingDecoder
+    from repro.dem import extract_dem
+
+    cache = shared_cache()
+    dem = cache.get_or_build(
+        ("dem", spec.fingerprint), lambda: extract_dem(circuit)
+    )
+    if spec.decoder == "matching":
+        return MatchingDecoder(dem)
+    return LookupDecoder(dem)
+
+
+def run_chunk(spec: ChunkSpec) -> ChunkResult:
+    """Sample + decode one chunk (runs in a worker or in-process).
+
+    Reproducible in isolation: the RNG is seeded purely from the spec's
+    ``(base_seed, task_entropy, chunk_index)`` triple.
+    """
+    from repro.circuit.circuit import Circuit
+
+    started = time.perf_counter()
+    cache = shared_cache()
+    circuit = cache.get_or_build(
+        ("circuit", spec.fingerprint),
+        lambda: Circuit.from_text(spec.circuit_text),
+    )
+    sampler = cache.get_or_build(
+        ("sampler", spec.fingerprint, spec.sampler),
+        lambda: _build_sampler(spec, circuit),
+    )
+    rng = chunk_generator(spec.base_seed, spec.task_entropy, spec.chunk_index)
+    detectors, observables = sampler.sample_detectors(spec.shots, rng)
+    if spec.decoder == "none":
+        errors = int(observables.any(axis=1).sum())
+    else:
+        decoder = cache.get_or_build(
+            ("decoder", spec.fingerprint, spec.decoder),
+            lambda: _build_decoder(spec, circuit),
+        )
+        predictions = decoder.decode_batch(detectors)
+        errors = int((predictions != observables).any(axis=1).sum())
+    return ChunkResult(
+        task_id=spec.task_id,
+        chunk_index=spec.chunk_index,
+        shots=spec.shots,
+        errors=errors,
+        seconds=time.perf_counter() - started,
+    )
+
+
+class ChunkRunner:
+    """Executes chunk specs, in-process (``workers <= 1``) or on a
+    ``multiprocessing`` pool.  Context-managed so the pool is always
+    reclaimed::
+
+        with ChunkRunner(workers=4) as runner:
+            for result in runner.run(specs):
+                ...
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+        self._pool = None
+
+    def __enter__(self) -> "ChunkRunner":
+        if self.workers > 1:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(processes=self.workers)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def run(self, specs: Iterable[ChunkSpec]) -> Iterator[ChunkResult]:
+        """Yield results in chunk-submission order.
+
+        Pooled execution submits in waves of ``2 * workers`` chunks and
+        yields each wave's results in order, so downstream aggregation
+        sees the same stream serial execution produces — and a consumer
+        that stops early (max-errors reached) wastes at most one wave of
+        speculative work instead of the task's whole remaining budget
+        (``Pool.imap``'s feeder thread would eagerly submit everything).
+        """
+        if self._pool is None:
+            for spec in specs:
+                yield run_chunk(spec)
+            return
+        wave_size = 2 * self.workers
+        wave: list[ChunkSpec] = []
+        for spec in specs:
+            wave.append(spec)
+            if len(wave) == wave_size:
+                yield from self._pool.map(run_chunk, wave, chunksize=1)
+                wave = []
+        if wave:
+            yield from self._pool.map(run_chunk, wave, chunksize=1)

@@ -14,7 +14,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig3a", "fig3b", "fig3c", "table1", "fig2", "sparse", "all"],
+        choices=[
+            "fig3a", "fig3b", "fig3c", "table1", "fig2", "sparse",
+            "threshold", "all",
+        ],
     )
     parser.add_argument(
         "--sizes", type=str, default=None,
@@ -22,6 +25,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--shots", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker processes for the threshold experiment",
+    )
     args = parser.parse_args(argv)
 
     sizes = None
@@ -36,12 +43,19 @@ def main(argv: list[str] | None = None) -> int:
         harness.run_fig2(seed=args.seed)
     elif args.experiment == "sparse":
         harness.run_sparse(shots=args.shots, seed=args.seed)
+    elif args.experiment == "threshold":
+        harness.run_threshold(
+            shots=args.shots, seed=args.seed, workers=args.workers,
+        )
     elif args.experiment == "all":
         for variant in ("fig3a", "fig3b", "fig3c"):
             harness.run_fig3(variant, sizes, args.shots, args.seed)
         harness.run_table1(seed=args.seed)
         harness.run_fig2(seed=args.seed)
         harness.run_sparse(shots=args.shots, seed=args.seed)
+        harness.run_threshold(
+            shots=args.shots, seed=args.seed, workers=args.workers,
+        )
     return 0
 
 

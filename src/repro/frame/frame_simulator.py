@@ -27,6 +27,7 @@ from repro.circuit.instructions import Instruction, RecTarget
 from repro.gates.database import get_gate
 from repro.gf2 import bitops
 from repro.noise.channels import noise_groups, sample_patterns_batch
+from repro.rng import as_generator
 from repro.tableau.simulator import reference_sample
 
 _BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}
@@ -49,12 +50,15 @@ class FrameSimulator:
     # -- sampling --------------------------------------------------------
 
     def sample(
-        self, shots: int, rng: np.random.Generator | None = None
+        self, shots: int, rng: int | np.random.Generator | None = None
     ) -> np.ndarray:
-        """Sample measurement records: uint8 array of shape (shots, n_m)."""
+        """Sample measurement records: uint8 array of shape (shots, n_m).
+
+        ``rng`` may be an int seed, a Generator, or ``None``.
+        """
         if shots < 1:
             raise ValueError("shots must be positive")
-        rng = rng or np.random.default_rng()
+        rng = as_generator(rng)
         n_words = bitops.words_for(shots)
         x_frame = np.zeros((self.n_qubits, n_words), dtype=_U64)
         z_frame = bitops.random_packed(
@@ -72,7 +76,7 @@ class FrameSimulator:
         return flips ^ self.reference[None, :]
 
     def sample_detectors(
-        self, shots: int, rng: np.random.Generator | None = None
+        self, shots: int, rng: int | np.random.Generator | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Detector and observable samples derived from the measurement
         records (XOR of the referenced outcomes)."""

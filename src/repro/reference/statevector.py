@@ -14,6 +14,7 @@ from repro.circuit.circuit import Circuit
 from repro.circuit.instructions import Instruction
 from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
 from repro.noise.channels import noise_groups
+from repro.rng import as_generator
 from repro.gates.database import get_gate
 
 _MAX_QUBITS = 12
@@ -30,13 +31,15 @@ _BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}
 class StatevectorSimulator:
     """One-shot dense simulation; qubit 0 is the most significant bit."""
 
-    def __init__(self, n_qubits: int, rng: np.random.Generator | None = None):
+    def __init__(
+        self, n_qubits: int, rng: int | np.random.Generator | None = None
+    ):
         if n_qubits > _MAX_QUBITS:
             raise ValueError(
                 f"statevector oracle is capped at {_MAX_QUBITS} qubits"
             )
         self.n = max(n_qubits, 1)
-        self.rng = rng or np.random.default_rng()
+        self.rng = as_generator(rng)
         self.state = np.zeros(2**self.n, dtype=complex)
         self.state[0] = 1.0
         self.record: list[int] = []
@@ -144,10 +147,10 @@ class StatevectorSimulator:
 
 
 def sample_records(
-    circuit: Circuit, shots: int, rng: np.random.Generator | None = None
+    circuit: Circuit, shots: int, rng: int | np.random.Generator | None = None
 ) -> np.ndarray:
     """Monte-Carlo sample measurement records with the dense oracle."""
-    rng = rng or np.random.default_rng()
+    rng = as_generator(rng)
     n = max(circuit.n_qubits, 1)
     out = np.zeros((shots, circuit.num_measurements), dtype=np.uint8)
     for shot in range(shots):

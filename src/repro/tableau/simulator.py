@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuit.circuit import Circuit
 from repro.circuit.instructions import Instruction, RecTarget
 from repro.noise.channels import noise_groups, pattern_bits
+from repro.rng import as_generator
 from repro.tableau.tableau import Tableau
 
 _BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}  # maps the basis onto Z
@@ -25,9 +26,11 @@ _FEEDBACK_LETTER = {"CX": "X", "CY": "Y", "CZ": "Z"}
 class TableauSimulator:
     """Stateful single-shot simulator over a Tableau."""
 
-    def __init__(self, n_qubits: int, rng: np.random.Generator | None = None):
+    def __init__(
+        self, n_qubits: int, rng: int | np.random.Generator | None = None
+    ):
         self.tableau = Tableau(n_qubits)
-        self.rng = rng or np.random.default_rng()
+        self.rng = as_generator(rng)
         self.record: list[int] = []
 
     # -- instruction dispatch ---------------------------------------------

@@ -122,3 +122,65 @@ class TestInstructionValidation:
     def test_repeat_count_positive(self):
         with pytest.raises(ValueError):
             RepeatBlock(0, Circuit())
+
+
+class TestFingerprint:
+    def build(self):
+        return (
+            Circuit()
+            .h(0)
+            .cx(0, 1)
+            .x_error(0.25, 0)
+            .m(0, 1)
+            .detector(-1, -2)
+            .observable_include(0, -1)
+        )
+
+    def test_stable_across_reconstruction(self):
+        assert self.build().fingerprint() == self.build().fingerprint()
+
+    def test_parse_roundtrip_preserves_fingerprint(self):
+        original = self.build()
+        reparsed = Circuit.from_text(original.to_text())
+        assert reparsed.fingerprint() == original.fingerprint()
+        assert reparsed == original
+
+    def test_regrouped_but_identical_stream_shares_fingerprint(self):
+        # REPEAT structure is a serialization detail: the unrolled
+        # circuit executes the identical instruction stream.
+        body = Circuit().x(0).m(0)
+        repeated = Circuit().h(0)
+        repeated.append_repeat(3, body)
+        unrolled = Circuit().h(0)
+        for _ in range(3):
+            unrolled += body.copy()
+        assert repeated.to_text() != unrolled.to_text()
+        assert repeated.fingerprint() == unrolled.fingerprint()
+
+    def test_cosmetic_annotations_ignored(self):
+        plain = self.build()
+        decorated = Circuit().append("QUBIT_COORDS", [0], (0.0, 1.0))
+        decorated += plain
+        decorated.tick()
+        assert decorated.fingerprint() == plain.fingerprint()
+
+    def test_differing_gate_changes_fingerprint(self):
+        assert self.build().fingerprint() != (
+            Circuit().h(0).cz(0, 1).x_error(0.25, 0).m(0, 1)
+            .detector(-1, -2).observable_include(0, -1)
+        ).fingerprint()
+
+    def test_differing_noise_strength_changes_fingerprint(self):
+        a = Circuit().x_error(0.25, 0).m(0)
+        b = Circuit().x_error(0.30, 0).m(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_reordered_instructions_change_fingerprint(self):
+        a = Circuit().h(0).x(1).m(0, 1)
+        b = Circuit().x(1).h(0).m(0, 1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_equality_tracks_content(self):
+        assert self.build() == self.build()
+        assert self.build() != Circuit().h(0)
+        assert Circuit() != "not a circuit"

@@ -1,0 +1,94 @@
+"""Statistics helpers: Wilson intervals and shots-per-error."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decoders import (
+    LookupDecoder,
+    logical_error_rate,
+    shots_per_error,
+    wilson_interval,
+)
+from repro.dem import extract_dem
+from repro.qec import repetition_code_memory
+
+
+class TestWilsonInterval:
+    def test_known_values(self):
+        # References computed from the closed-form Wilson score formula.
+        assert wilson_interval(0, 100) == pytest.approx(
+            (0.0, 0.03699480747600191)
+        )
+        assert wilson_interval(1, 10) == pytest.approx(
+            (0.01787574951572113, 0.4041563854975721)
+        )
+        assert wilson_interval(5, 100) == pytest.approx(
+            (0.02154336145631356, 0.11175196527208817)
+        )
+        assert wilson_interval(50, 100) == pytest.approx(
+            (0.40382982859014716, 0.5961701714098528)
+        )
+
+    def test_custom_z(self):
+        assert wilson_interval(5, 100, z=2.576) == pytest.approx(
+            (0.01684719918486203, 0.13915838003087888)
+        )
+
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low + high == pytest.approx(1.0)
+
+    def test_zero_errors_has_zero_lower_bound(self):
+        # Exactly 0.0 for every shot count, not 1e-19 fp residue.
+        for shots in (10, 3_000, 10_000):
+            low, high = wilson_interval(0, shots)
+            assert low == 0.0
+            assert 0 < high < 1
+
+    def test_all_errors_has_unit_upper_bound(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0)
+        assert low > 0.9
+
+    def test_interval_always_contains_point_estimate(self):
+        for errors, shots in [(0, 7), (3, 7), (7, 7), (13, 1000)]:
+            low, high = wilson_interval(errors, shots)
+            assert low <= errors / shots <= high
+
+    def test_zero_shots_unconstrained(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+
+
+class TestShotsPerError:
+    def test_basic_ratio(self):
+        assert shots_per_error(4, 1000) == pytest.approx(250.0)
+
+    def test_no_errors_is_infinite(self):
+        assert shots_per_error(0, 1000) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shots_per_error(-1, 10)
+
+
+class TestLogicalErrorRateSeeding:
+    def test_int_seed_matches_generator(self):
+        circuit = repetition_code_memory(
+            3, rounds=2,
+            data_flip_probability=0.1,
+            measure_flip_probability=0.1,
+        )
+        decoder = LookupDecoder(extract_dem(circuit))
+        from_seed = logical_error_rate(circuit, decoder, 500, 42)
+        from_rng = logical_error_rate(
+            circuit, decoder, 500, np.random.default_rng(42)
+        )
+        assert from_seed == from_rng

@@ -1,0 +1,65 @@
+"""SamplerCache LRU semantics and build-on-miss accounting."""
+
+import pytest
+
+from repro.engine import SamplerCache
+from repro.engine.cache import reset_shared_cache, shared_cache
+
+
+class TestSamplerCache:
+    def test_miss_builds_then_hit_reuses(self):
+        cache = SamplerCache(capacity=4)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return object()
+
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first is second
+        assert len(builds) == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = SamplerCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A")  # refresh a; b is now LRU
+        cache.get_or_build("c", lambda: "C")  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_evicted_entry_rebuilds(self):
+        cache = SamplerCache(capacity=1)
+        cache.get_or_build("a", lambda: "first")
+        cache.get_or_build("b", lambda: "B")
+        assert cache.get_or_build("a", lambda: "rebuilt") == "rebuilt"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SamplerCache(capacity=0)
+
+    def test_clear_resets_counters(self):
+        cache = SamplerCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestSharedCache:
+    def test_process_global_singleton(self):
+        reset_shared_cache()
+        try:
+            assert shared_cache() is shared_cache()
+        finally:
+            reset_shared_cache()
+
+    def test_reset_drops_instance(self):
+        first = shared_cache()
+        reset_shared_cache()
+        try:
+            assert shared_cache() is not first
+        finally:
+            reset_shared_cache()

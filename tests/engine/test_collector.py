@@ -1,0 +1,213 @@
+"""Collection orchestration: equivalence, early stop, resume, store."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ResultStore,
+    Task,
+    TaskStats,
+    collect,
+    plan_chunks,
+    run_chunk,
+)
+from repro.engine.cache import reset_shared_cache, shared_cache
+from repro.qec import repetition_code_memory
+
+SEED = 11
+
+
+def make_task(p=0.08, max_shots=2_000, max_errors=None):
+    circuit = repetition_code_memory(
+        3, rounds=2, data_flip_probability=p, measure_flip_probability=p
+    )
+    return Task(
+        circuit,
+        decoder="matching",
+        max_shots=max_shots,
+        max_errors=max_errors,
+        metadata={"d": 3, "p": p},
+    )
+
+
+class TestSerialPoolEquivalence:
+    def test_counts_bitwise_identical(self):
+        tasks = [make_task(0.05), make_task(0.10)]
+        serial = collect(tasks, base_seed=SEED, workers=1, chunk_shots=500)
+        pooled = collect(tasks, base_seed=SEED, workers=2, chunk_shots=500)
+        for s, p in zip(serial, pooled):
+            assert (s.shots, s.errors, s.chunks) == (p.shots, p.errors, p.chunks)
+            assert s.task_id == p.task_id
+
+    def test_early_stop_identical_across_workers(self):
+        tasks = [make_task(0.15, max_shots=4_000, max_errors=30)]
+        serial = collect(tasks, base_seed=SEED, workers=1, chunk_shots=400)
+        pooled = collect(tasks, base_seed=SEED, workers=3, chunk_shots=400)
+        assert (serial[0].shots, serial[0].errors) == (
+            pooled[0].shots, pooled[0].errors
+        )
+
+    def test_chunk_reproducible_in_isolation(self):
+        """Chunk i alone reproduces its contribution to a full run."""
+        task = make_task(0.08)
+        specs = plan_chunks(task, SEED, 500)
+        isolated = [run_chunk(s) for s in specs]
+        again = [run_chunk(s) for s in reversed(specs)]
+        by_index = {r.chunk_index: r for r in again}
+        for result in isolated:
+            other = by_index[result.chunk_index]
+            assert (result.shots, result.errors) == (other.shots, other.errors)
+        stats = collect([task], base_seed=SEED, workers=1, chunk_shots=500)[0]
+        assert stats.errors == sum(r.errors for r in isolated)
+        assert stats.shots == sum(r.shots for r in isolated)
+
+
+class TestEarlyStopping:
+    def test_stops_at_max_errors_chunk_boundary(self):
+        task = make_task(0.20, max_shots=10_000, max_errors=10)
+        stats = collect([task], base_seed=SEED, workers=1, chunk_shots=250)[0]
+        assert stats.errors >= 10
+        assert stats.shots < 10_000
+        assert stats.shots == stats.chunks * 250
+        # The stop is the *first* crossing chunk: all but the last chunk
+        # must be strictly below the threshold.
+        specs = plan_chunks(task, SEED, 250)
+        running = 0
+        for spec in specs[: stats.chunks - 1]:
+            running += run_chunk(spec).errors
+        assert running < 10
+
+    def test_no_stop_without_max_errors(self):
+        task = make_task(0.20, max_shots=1_500, max_errors=None)
+        stats = collect([task], base_seed=SEED, workers=1, chunk_shots=400)[0]
+        assert stats.shots == 1_500
+
+
+class TestResume:
+    def test_resume_skips_completed_rows(self, tmp_path, monkeypatch):
+        store_path = tmp_path / "results.jsonl"
+        tasks = [make_task(0.05), make_task(0.10)]
+        first = collect(
+            tasks, base_seed=SEED, workers=1, chunk_shots=500,
+            store=store_path,
+        )
+        assert all(not s.resumed for s in first)
+
+        # A resumed run must not sample a single chunk.
+        import repro.engine.workers as workers_module
+
+        def forbidden(spec):
+            raise AssertionError("resume re-ran a completed chunk")
+
+        monkeypatch.setattr(workers_module, "run_chunk", forbidden)
+        second = collect(
+            tasks, base_seed=SEED, workers=1, chunk_shots=500,
+            store=store_path,
+        )
+        assert all(s.resumed for s in second)
+        for a, b in zip(first, second):
+            assert (a.shots, a.errors, a.task_id) == (b.shots, b.errors, b.task_id)
+
+    def test_partial_store_runs_only_missing_tasks(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        done, pending = make_task(0.05), make_task(0.10)
+        collect([done], base_seed=SEED, chunk_shots=500, store=store_path)
+        both = collect(
+            [done, pending], base_seed=SEED, chunk_shots=500, store=store_path
+        )
+        assert both[0].resumed and not both[1].resumed
+        rows = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert len(rows) == 2
+
+    def test_changed_seed_recollects(self, tmp_path):
+        """Rows satisfy a resume only under the base seed that produced
+        them — a different --seed must yield fresh, independent counts."""
+        store_path = tmp_path / "results.jsonl"
+        task = make_task(0.05)
+        first = collect(
+            [task], base_seed=SEED, chunk_shots=500, store=store_path
+        )
+        reseeded = collect(
+            [task], base_seed=SEED + 1, chunk_shots=500, store=store_path
+        )
+        assert not reseeded[0].resumed
+        assert reseeded[0].base_seed == SEED + 1
+        # Same seed still resumes (latest row wins in the store).
+        again = collect(
+            [task], base_seed=SEED + 1, chunk_shots=500, store=store_path
+        )
+        assert again[0].resumed
+        assert first[0].base_seed == SEED
+
+    def test_store_keeps_latest_duplicate(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(TaskStats("t1", "matching", "symphase", shots=10, errors=1))
+        store.append(TaskStats("t1", "matching", "symphase", shots=99, errors=9))
+        assert store.load()["t1"].shots == 99
+
+    def test_row_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = TaskStats(
+            "t1", "lookup", "frame",
+            metadata={"d": 3}, shots=1000, errors=7, seconds=1.5, chunks=2,
+        )
+        store.append(stats)
+        loaded = store.load()["t1"]
+        assert loaded.resumed
+        assert (loaded.decoder, loaded.sampler) == ("lookup", "frame")
+        assert loaded.metadata == {"d": 3}
+        assert (loaded.shots, loaded.errors, loaded.chunks) == (1000, 7, 2)
+        assert loaded.wilson() == stats.wilson()
+
+    def test_missing_store_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == {}
+
+    def test_torn_trailing_line_skipped(self, tmp_path, capsys):
+        """A killed run leaves a truncated last line; resume must survive
+        it and simply re-collect that task."""
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(TaskStats("t1", "matching", "symphase", shots=10, errors=1))
+        with open(store.path, "a") as handle:
+            handle.write('{"task_id": "t2", "shots": 5')  # torn mid-row
+        loaded = store.load()
+        assert list(loaded) == ["t1"]
+        assert "corrupt row" in capsys.readouterr().err
+
+
+class TestCacheIntegration:
+    def test_chunks_share_one_compiled_sampler(self):
+        reset_shared_cache()
+        try:
+            task = make_task(0.05)
+            collect([task], base_seed=SEED, workers=1, chunk_shots=250)
+            cache = shared_cache()
+            fingerprint = task.circuit_fingerprint()
+            assert ("sampler", fingerprint, "symphase") in cache
+            assert ("decoder", fingerprint, "matching") in cache
+            # 8 chunks -> 1 miss + 7 hits for each cached artifact kind.
+            assert cache.hits > cache.misses
+        finally:
+            reset_shared_cache()
+
+    def test_decoder_none_counts_raw_observable_flips(self):
+        task = Task(
+            repetition_code_memory(
+                3, rounds=2,
+                data_flip_probability=0.3,
+                measure_flip_probability=0.3,
+            ),
+            decoder="none",
+            max_shots=500,
+        )
+        stats = collect([task], base_seed=SEED, chunk_shots=500)[0]
+        assert 0 < stats.errors <= 500
+
+
+class TestWilsonAggregation:
+    def test_stats_expose_wilson_interval(self):
+        stats = TaskStats("t", "matching", "symphase", shots=100, errors=5)
+        low, high = stats.wilson()
+        assert low == pytest.approx(0.02154336145631356)
+        assert high == pytest.approx(0.11175196527208817)
+        assert stats.error_rate == pytest.approx(0.05)

@@ -70,3 +70,42 @@ class TestStats:
         assert "qubits:        2" in out
         assert "measurements:  2" in out
         assert "detectors:     1" in out
+
+
+class TestCollect:
+    ARGS = [
+        "collect", "--code", "repetition", "--distances", "3",
+        "--probabilities", "0.05", "--rounds", "2",
+        "--max-shots", "600", "--chunk-shots", "300", "--seed", "3",
+    ]
+
+    def test_sweep_prints_rates(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "collecting 1 task(s)" in out
+        assert "repetition" in out
+        assert "600" in out
+
+    def test_store_written_and_resumed(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(self.ARGS + ["--out", store]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--out", store]) == 0
+        second = capsys.readouterr().out
+        assert not first.rstrip().endswith("resumed")
+        assert second.rstrip().endswith("resumed")
+        assert len((tmp_path / "results.jsonl").read_text().splitlines()) == 1
+
+    def test_workers_match_serial_counts(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial.jsonl")
+        pooled = str(tmp_path / "pooled.jsonl")
+        assert main(self.ARGS + ["--out", serial]) == 0
+        assert main(self.ARGS + ["--workers", "2", "--out", pooled]) == 0
+        capsys.readouterr()
+        import json
+
+        row_a = json.loads((tmp_path / "serial.jsonl").read_text())
+        row_b = json.loads((tmp_path / "pooled.jsonl").read_text())
+        assert (row_a["shots"], row_a["errors"]) == (
+            row_b["shots"], row_b["errors"]
+        )
