@@ -1,0 +1,141 @@
+"""Interpreted vs compiled frame sampling: shots/sec per backend to JSON.
+
+The compiled frame program (PR 2's tentpole) must beat the seed's
+per-instruction interpreter by >= 3x on a d=7 surface-code memory
+circuit at standard frame batch sizes.  This bench measures detector
+sampling throughput for every batch-capable backend and records the
+numbers to a JSON file the trajectory can track across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_frame.py \\
+          [--distance 7] [--shots 1024] [--out benchmarks/results/bench_frame.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.backends import compile_backend, get_backend
+from repro.qec import surface_code_memory
+
+BACKENDS = ("frame-interp", "frame", "symbolic")
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_bench(
+    distance: int,
+    rounds: int,
+    shots: int,
+    p: float,
+    repeats: int,
+    seed: int,
+) -> dict:
+    circuit = surface_code_memory(
+        distance, rounds,
+        after_clifford_depolarization=p,
+        before_measure_flip_probability=p,
+    )
+    stats = circuit.count_operations()
+    result = {
+        "circuit": {
+            "family": "surface_code_memory",
+            "distance": distance,
+            "rounds": rounds,
+            "p": p,
+            "n_qubits": circuit.n_qubits,
+            **stats,
+        },
+        "shots_per_batch": shots,
+        "repeats": repeats,
+        "backends": {},
+    }
+    rng = np.random.default_rng(seed)
+    for name in BACKENDS:
+        init_started = time.perf_counter()
+        sampler = compile_backend(circuit, name)
+        init_seconds = time.perf_counter() - init_started
+        sampler.sample_detectors(64, rng)  # warm any lazy state
+        sample_seconds = _best_of(
+            lambda: sampler.sample_detectors(shots, rng), repeats
+        )
+        result["backends"][name] = {
+            "init_seconds": init_seconds,
+            "sample_seconds": sample_seconds,
+            "shots_per_sec": shots / sample_seconds,
+            "compile_once": get_backend(name).info.compile_once,
+        }
+    interp = result["backends"]["frame-interp"]["shots_per_sec"]
+    compiled = result["backends"]["frame"]["shots_per_sec"]
+    result["compiled_frame_speedup"] = compiled / interp
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--distance", type=int, default=7)
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="memory rounds (default: --distance)",
+    )
+    parser.add_argument(
+        "--shots", type=int, default=1024,
+        help="shots per sample_detectors batch (default 1024, one frame "
+             "batch of 16 words)",
+    )
+    parser.add_argument("--p", type=float, default=0.002)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="benchmarks/results/bench_frame.json",
+        help="JSON output path ('' disables writing)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit nonzero unless compiled/interpreted >= this ratio",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench(
+        args.distance, args.rounds or args.distance, args.shots,
+        args.p, args.repeats, args.seed,
+    )
+
+    print(f"d={args.distance} surface-code memory, "
+          f"{args.shots} shots/batch, best of {args.repeats}")
+    print(f"{'backend':<14} {'init (s)':>10} {'sample (s)':>11} "
+          f"{'shots/sec':>12}")
+    for name, row in result["backends"].items():
+        print(f"{name:<14} {row['init_seconds']:>10.4f} "
+              f"{row['sample_seconds']:>11.4f} {row['shots_per_sec']:>12,.0f}")
+    print(f"compiled frame speedup over interpreter: "
+          f"{result['compiled_frame_speedup']:.2f}x")
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.out}")
+
+    if (
+        args.min_speedup is not None
+        and result["compiled_frame_speedup"] < args.min_speedup
+    ):
+        print(f"FAIL: speedup below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,18 +11,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import CompiledSampler, SymPhaseSimulator
-from repro.frame import FrameSimulator
+from repro.backends import compile_backend
 
 
-def build_symphase_sampler(circuit) -> CompiledSampler:
+def build_symphase_sampler(circuit):
     """The paper's Initialization procedure (Algorithm 1, line 1)."""
-    return CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
+    return compile_backend(circuit, "symbolic")
 
 
-def build_frame_sampler(circuit) -> FrameSimulator:
-    """The baseline's initialization (circuit analysis + reference run)."""
-    return FrameSimulator(circuit)
+def build_frame_sampler(circuit):
+    """The baseline's initialization (one lowering pass + reference run)."""
+    return compile_backend(circuit, "frame")
 
 
 def make_rng(seed: int = 0) -> np.random.Generator:

@@ -55,6 +55,9 @@ Below threshold the columns decrease left to right (distance helps);
 near p ~ 0.35 the ordering inverts — the code stops helping.
 """)
 
+# Tasks select their sampler backend by registry name; the compiled
+# frame program is the batch-throughput workhorse for wide, shallow
+# surface-code rounds (`sampler="symbolic"` wins on deep circuits).
 surface_tasks = [
     Task(
         surface_code_memory(
@@ -63,6 +66,7 @@ surface_tasks = [
             before_measure_flip_probability=p,
         ),
         decoder="matching",
+        sampler="frame",
         max_shots=SHOTS,
         metadata={"p": p},
     )

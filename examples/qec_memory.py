@@ -10,6 +10,7 @@ Run:  python examples/qec_memory.py
 
 import numpy as np
 
+from repro.backends import compile_backend
 from repro.core import compile_sampler
 from repro.qec import repetition_code_memory, surface_code_memory
 
@@ -17,6 +18,8 @@ SHOTS = 20_000
 rng = np.random.default_rng(0)
 
 # ------------------------------------------------ repetition code sweep --
+# Any registered backend serves this loop unchanged — swap "frame" for
+# "symbolic" (or "tableau" at tiny sizes) to trade compile/sampling cost.
 print("repetition code memory: majority-vote logical error rate")
 print(f"{'p':>8} {'d=3':>10} {'d=5':>10} {'d=7':>10}")
 for p in (0.01, 0.03, 0.05, 0.10):
@@ -25,7 +28,7 @@ for p in (0.01, 0.03, 0.05, 0.10):
         circuit = repetition_code_memory(
             d, rounds=3, data_flip_probability=p
         )
-        sampler = compile_sampler(circuit)
+        sampler = compile_backend(circuit, "frame")
         records = sampler.sample(SHOTS, rng)
         data = records[:, -d:]  # final transversal data readout
         logical = (data.sum(axis=1) > d // 2).astype(np.uint8)

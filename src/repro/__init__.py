@@ -6,19 +6,23 @@ Public API re-exports the main entry points:
 - :class:`repro.core.SymPhaseSimulator` — Algorithm 1 (symbolic phases).
 - :class:`repro.core.CompiledSampler` — Eq. 4 matmul sampler.
 - :class:`repro.frame.FrameSimulator` — Pauli-frame baseline (Stim's
-  sampling algorithm), the comparison target of the paper's evaluation.
+  sampling algorithm), the comparison target of the paper's evaluation;
+  compiled once into a vectorized frame program by default.
+- :func:`repro.backends.compile_backend` — one protocol over every
+  sampler backend, selected by registry name.
 - :class:`repro.tableau.Tableau` — Aaronson–Gottesman tableau.
 - :func:`repro.engine.collect` / :class:`repro.engine.Task` — parallel
   Monte-Carlo collection engine (``python -m repro collect``).
 """
 
+from repro.backends import available_backends, compile_backend
 from repro.circuit import Circuit
 from repro.core import CompiledSampler, SymPhaseSimulator, compile_sampler
 from repro.frame import FrameSimulator
 from repro.rng import as_generator
 from repro.tableau import Tableau
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",
@@ -27,6 +31,8 @@ __all__ = [
     "SymPhaseSimulator",
     "Tableau",
     "as_generator",
+    "available_backends",
+    "compile_backend",
     "compile_sampler",
     "__version__",
 ]

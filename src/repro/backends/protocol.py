@@ -1,0 +1,63 @@
+"""The sampler backend protocol and capability metadata.
+
+Every sampling engine in this package — the compiled frame program, the
+interpreted frame baseline, the symbolic Eq. 4 sampler, the per-shot
+tableau oracle — is exposed to the engine, experiments, CLI and
+examples through one structural interface: ``compile(circuit)`` returns
+a :class:`Sampler`, and a :class:`Sampler` answers ``sample`` and
+``sample_detectors``.  Capability flags live in :class:`BackendInfo` so
+callers can *ask* instead of hard-coding backend names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Sampler(Protocol):
+    """What every compiled sampler must answer.
+
+    ``rng`` may be an int seed, a ``numpy.random.Generator``, or
+    ``None`` (fresh OS entropy) at every entry point.
+    """
+
+    def sample(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Measurement records: uint8 array of shape (shots, n_m)."""
+        ...
+
+    def sample_detectors(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(detectors, observables) uint8 arrays of shape (shots, n)."""
+        ...
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Static capability description of one sampler backend.
+
+    ``rng_stream`` names the RNG consumption scheme: two backends with
+    the same non-``None`` token draw from the generator in the same
+    order and therefore produce **bitwise-identical** samples for the
+    same seed (e.g. compiled and interpreted frame programs).  Distinct
+    tokens mean only *distributional* agreement can be expected.
+
+    ``per_shot_cost`` is ``"batch"`` when sampling is vectorized across
+    shots and ``"shot"`` when every shot is a full circuit traversal
+    (the tableau oracle).  ``oracle`` marks backends meant for
+    validation rather than production collection sweeps.
+    """
+
+    name: str
+    description: str
+    compile_once: bool = True
+    per_shot_cost: str = "batch"
+    rng_stream: str | None = None
+    supports_feedback: bool = True
+    oracle: bool = False

@@ -1,0 +1,93 @@
+"""Name-keyed registry of sampler backends.
+
+The engine (:mod:`repro.engine`), the experiment harness, the CLI and
+the examples all select samplers through this registry, so adding a new
+backend — say a DEM-direct sampler — is one :func:`register_backend`
+call, not a code fork across five layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.backends.protocol import BackendInfo, Sampler
+from repro.circuit.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A registered backend: capability info plus its compile entry."""
+
+    info: BackendInfo
+    factory: Callable[[Circuit], Sampler]
+
+    def compile(self, circuit: Circuit) -> Sampler:
+        """Run this backend's one-time analysis; returns the sampler."""
+        return self.factory(circuit)
+
+
+_REGISTRY: dict[str, Backend] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(
+    info: BackendInfo,
+    factory: Callable[[Circuit], Sampler],
+    aliases: Iterable[str] = (),
+) -> Backend:
+    """Register a backend under ``info.name`` (plus optional aliases).
+
+    Re-registering a name replaces it (tests swap in instrumented
+    backends); aliases may not shadow a canonical name.
+    """
+    aliases = tuple(aliases)
+    if _ALIASES.get(info.name, info.name) != info.name:
+        raise ValueError(
+            f"name {info.name!r} is already an alias for "
+            f"{_ALIASES[info.name]!r}"
+        )
+    for alias in aliases:
+        if alias in _REGISTRY:
+            raise ValueError(f"alias {alias!r} shadows a registered backend")
+        if _ALIASES.get(alias, info.name) != info.name:
+            raise ValueError(
+                f"alias {alias!r} already points to {_ALIASES[alias]!r}"
+            )
+    backend = Backend(info=info, factory=factory)
+    _REGISTRY[info.name] = backend
+    for alias in aliases:
+        _ALIASES[alias] = info.name
+    return backend
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a backend name or alias to its canonical name.
+
+    Raises ``KeyError`` naming the known backends on an unknown name.
+    """
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise KeyError(f"unknown sampler backend {name!r} (known: {known})")
+    return resolved
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by canonical name or alias."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted canonical names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_choices() -> tuple[str, ...]:
+    """Canonical names plus aliases (for CLI ``choices=``)."""
+    return tuple(sorted(set(_REGISTRY) | set(_ALIASES)))
+
+
+def compile_backend(circuit: Circuit, backend: str = "frame") -> Sampler:
+    """Compile ``circuit`` with the named backend; returns its sampler."""
+    return get_backend(backend).compile(circuit)

@@ -21,6 +21,7 @@ from repro.circuit.transforms import (
     inverse_circuit,
     moments,
     remap_qubits,
+    resolve_record_annotations,
     without_noise,
 )
 
@@ -36,5 +37,6 @@ __all__ = [
     "moments",
     "parse_circuit",
     "remap_qubits",
+    "resolve_record_annotations",
     "without_noise",
 ]

@@ -124,6 +124,43 @@ def remap_qubits(circuit: Circuit, mapping: dict[int, int]) -> Circuit:
     return out
 
 
+def resolve_record_annotations(
+    instructions,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Resolve DETECTOR / OBSERVABLE_INCLUDE lookbacks to absolute indices.
+
+    ``instructions`` is a flattened instruction stream (REPEATs already
+    expanded).  Returns ``(detectors, observables)`` where each entry is
+    an int64 array of absolute measurement-record indices; observables
+    are ordered by their OBSERVABLE_INCLUDE index.  Every sampler
+    backend shares this resolution so detector semantics can never
+    drift between them.
+    """
+    measured = 0
+    detectors: list[np.ndarray] = []
+    observables: dict[int, list[int]] = {}
+    for instruction in instructions:
+        if instruction.gate.produces_record:
+            measured += len(instruction.targets)
+        elif instruction.name == "DETECTOR":
+            indices = [
+                measured + t.offset
+                for t in instruction.targets
+                if isinstance(t, RecTarget)
+            ]
+            detectors.append(np.array(indices, dtype=np.int64))
+        elif instruction.name == "OBSERVABLE_INCLUDE":
+            observables.setdefault(int(instruction.args[0]), []).extend(
+                measured + t.offset
+                for t in instruction.targets
+                if isinstance(t, RecTarget)
+            )
+    observable_list = [
+        np.array(observables[k], dtype=np.int64) for k in sorted(observables)
+    ]
+    return detectors, observable_list
+
+
 def moments(circuit: Circuit) -> list[list[Instruction]]:
     """Greedy scheduling of instructions into parallel layers.
 

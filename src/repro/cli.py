@@ -2,9 +2,10 @@
 
 Usage::
 
-    repro sample circuit.stim --shots 1000 [--simulator symbolic|frame]
+    repro sample circuit.stim --shots 1000 [--backend frame|symbolic|...]
     repro detect circuit.stim --shots 1000
     repro analyze circuit.stim          # symbolic measurement expressions
+    repro backends                      # registered sampler backends
     repro stats circuit.stim            # operation counts
     repro collect --code both --distances 3,5 --probabilities 0.01,0.02 \\
         --max-shots 20000 --max-errors 200 --workers 4 --out results.jsonl
@@ -17,9 +18,33 @@ import sys
 
 import numpy as np
 
+from repro.backends import (
+    available_backends,
+    backend_choices,
+    compile_backend,
+    get_backend,
+)
 from repro.circuit import Circuit
-from repro.core import CompiledSampler, SymPhaseSimulator
-from repro.frame import FrameSimulator
+from repro.core import SymPhaseSimulator
+
+_BACKEND_HELP = """\
+backends (see `repro backends` for the registered list):
+  symbolic      compile once into a GF(2) measurement matrix, sample as a
+                matrix product (the paper's Algorithm 1).  Sampling cost is
+                independent of circuit depth: prefer it for deep circuits
+                sampled many times, and for sparse QEC circuits.
+  frame         compile once into a vectorized Pauli-frame program (fused op
+                list, packed record buffer).  Per-batch cost scales with gate
+                count but with tiny constants: the best general default.
+  frame-interp  per-instruction interpreted Pauli frames; bitwise-identical
+                samples to `frame` for the same seed.  Benchmarking baseline.
+  tableau       per-shot Aaronson-Gottesman Monte Carlo; exact but slow.
+                Validation oracle, not for sweeps.
+
+Every backend pays its analysis once per compiled sampler; the collection
+engine caches compiled samplers by circuit fingerprint, so a sweep pays each
+circuit's compile exactly once per worker process.
+"""
 
 
 def _load(path: str) -> Circuit:
@@ -30,11 +55,8 @@ def _load(path: str) -> Circuit:
 def _cmd_sample(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
     rng = np.random.default_rng(args.seed)
-    if args.simulator == "symbolic":
-        sampler = CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
-        records = sampler.sample(args.shots, rng)
-    else:
-        records = FrameSimulator(circuit).sample(args.shots, rng)
+    sampler = compile_backend(circuit, args.backend)
+    records = sampler.sample(args.shots, rng)
     for row in records:
         print("".join(map(str, row)))
     return 0
@@ -43,16 +65,26 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     circuit = _load(args.circuit)
     rng = np.random.default_rng(args.seed)
-    if args.simulator == "symbolic":
-        sampler = CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
-        detectors, observables = sampler.sample_detectors(args.shots, rng)
-    else:
-        detectors, observables = FrameSimulator(circuit).sample_detectors(
-            args.shots, rng
-        )
+    sampler = compile_backend(circuit, args.backend)
+    detectors, observables = sampler.sample_detectors(args.shots, rng)
     for det_row, obs_row in zip(detectors, observables):
         suffix = (" " + "".join(map(str, obs_row))) if obs_row.size else ""
         print("".join(map(str, det_row)) + suffix)
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    for name in available_backends():
+        info = get_backend(name).info
+        flags = []
+        if info.compile_once:
+            flags.append("compile-once")
+        flags.append(f"cost:per-{info.per_shot_cost}")
+        if not info.supports_feedback:
+            flags.append("no-feedback")
+        if info.oracle:
+            flags.append("oracle")
+        print(f"{name:<14} [{', '.join(flags)}]  {info.description}")
     return 0
 
 
@@ -172,14 +204,25 @@ def main(argv: list[str] | None = None) -> int:
     for name, needs_shots in (
         ("sample", True), ("detect", True), ("analyze", False), ("stats", False)
     ):
-        p = sub.add_parser(name)
+        p = sub.add_parser(
+            name,
+            epilog=_BACKEND_HELP if needs_shots else None,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
         p.add_argument("circuit", help="path to a .stim-dialect circuit file")
         if needs_shots:
             p.add_argument("--shots", type=int, default=10)
             p.add_argument("--seed", type=int, default=None)
             p.add_argument(
-                "--simulator", choices=["symbolic", "frame"], default="symbolic"
+                "--backend", "--simulator", dest="backend",
+                choices=backend_choices(), default="symbolic",
+                help="sampler backend (--simulator is a deprecated alias)",
             )
+
+    sub.add_parser(
+        "backends",
+        help="list registered sampler backends and their capabilities",
+    )
 
     collect_parser = sub.add_parser(
         "collect",
@@ -188,8 +231,12 @@ def main(argv: list[str] | None = None) -> int:
             "Estimate logical error rates for a sweep of memory "
             "experiments using the parallel collection engine.  Results "
             "stream to a JSONL store; rerunning with the same --out "
-            "resumes, skipping completed rows."
+            "resumes, skipping completed rows.  Each distinct circuit is "
+            "compiled once per worker process (fingerprint-keyed sampler "
+            "cache); sampling afterwards never re-analyzes the circuit."
         ),
+        epilog=_BACKEND_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     collect_parser.add_argument(
         "--code", choices=["repetition", "surface", "both"], default="both"
@@ -207,7 +254,9 @@ def main(argv: list[str] | None = None) -> int:
         "--decoder", choices=["matching", "lookup", "none"], default="matching"
     )
     collect_parser.add_argument(
-        "--sampler", choices=["symphase", "frame"], default="symphase"
+        "--backend", "--sampler", dest="sampler",
+        choices=backend_choices(), default="symbolic",
+        help="sampler backend (--sampler is a deprecated alias)",
     )
     collect_parser.add_argument("--max-shots", type=int, default=10_000)
     collect_parser.add_argument(
@@ -230,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         "sample": _cmd_sample,
         "detect": _cmd_detect,
         "analyze": _cmd_analyze,
+        "backends": _cmd_backends,
         "stats": _cmd_stats,
         "collect": _cmd_collect,
     }

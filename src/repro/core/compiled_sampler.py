@@ -50,16 +50,12 @@ class CompiledSampler:
         self.observable_matrix = self._combine(observable_defs)
 
         self._supports: list[np.ndarray] | None = None
+        self._derived_matrix: np.ndarray | None = None
+        self._derived_supports: list[np.ndarray] | None = None
 
     def _combine(self, index_lists) -> np.ndarray:
         """XOR measurement rows into derived rows (detectors/observables)."""
-        out = np.zeros(
-            (len(index_lists), self.measurement_matrix.shape[1]), dtype=np.uint64
-        )
-        for i, indices in enumerate(index_lists):
-            for index in indices:
-                out[i] ^= self.measurement_matrix[index]
-        return out
+        return bitops.xor_select_rows(self.measurement_matrix, index_lists)
 
     # -- introspection ------------------------------------------------------
 
@@ -74,9 +70,30 @@ class CompiledSampler:
     def supports(self) -> list[np.ndarray]:
         """Symbol-index support of every measurement (cached)."""
         if self._supports is None:
-            dense = bitops.unpack_rows(self.measurement_matrix, self.width)
-            self._supports = [np.nonzero(row)[0] for row in dense]
+            self._supports = self._compute_supports(self.measurement_matrix)
         return self._supports
+
+    def _compute_supports(self, matrix: np.ndarray) -> list[np.ndarray]:
+        dense = bitops.unpack_rows(matrix, self.width)
+        return [np.nonzero(row)[0] for row in dense]
+
+    def _derived(self) -> np.ndarray:
+        """Stacked detector+observable matrix (built once, reused)."""
+        if self._derived_matrix is None:
+            self._derived_matrix = np.concatenate(
+                [self.detector_matrix, self.observable_matrix], axis=0
+            )
+        return self._derived_matrix
+
+    def _supports_for(self, matrix: np.ndarray) -> list[np.ndarray]:
+        """Per-row supports with caching for the two standing matrices."""
+        if matrix is self.measurement_matrix:
+            return self.supports()
+        if matrix is self._derived_matrix:
+            if self._derived_supports is None:
+                self._derived_supports = self._compute_supports(matrix)
+            return self._derived_supports
+        return self._compute_supports(matrix)
 
     def average_support(self) -> float:
         if self.n_measurements == 0:
@@ -130,10 +147,7 @@ class CompiledSampler:
         ``rng`` may be an int seed, a Generator, or ``None``.
         """
         rng = as_generator(rng)
-        stacked = np.concatenate(
-            [self.detector_matrix, self.observable_matrix], axis=0
-        )
-        both = self._sample_rows(stacked, shots, rng, strategy)
+        both = self._sample_rows(self._derived(), shots, rng, strategy)
         return both[:, : self.n_detectors], both[:, self.n_detectors:]
 
     def _sample_rows(
@@ -155,8 +169,7 @@ class CompiledSampler:
             b_shot_major = transpose_bitmatrix(symbol_values, self.width, shots)
             return mul_packed_abt(b_shot_major, matrix)
         if strategy == "sparse":
-            dense_rows = bitops.unpack_rows(matrix, self.width)
-            supports = [np.nonzero(row)[0] for row in dense_rows]
+            supports = self._supports_for(matrix)
             packed = mul_sparse_columns(supports, symbol_values)
             return np.ascontiguousarray(
                 bitops.unpack_rows(

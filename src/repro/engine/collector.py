@@ -62,7 +62,7 @@ class TaskStats:
         return cls(
             task_id=row["task_id"],
             decoder=row.get("decoder", "matching"),
-            sampler=row.get("sampler", "symphase"),
+            sampler=row.get("sampler", "symbolic"),
             metadata=row.get("metadata", {}),
             shots=int(row["shots"]),
             errors=int(row["errors"]),

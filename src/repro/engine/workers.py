@@ -20,8 +20,6 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-import numpy as np
-
 from repro.engine.cache import shared_cache
 from repro.engine.tasks import Task
 from repro.rng import chunk_generator
@@ -91,13 +89,9 @@ def plan_chunks(
 
 
 def _build_sampler(spec: ChunkSpec, circuit):
-    if spec.sampler == "frame":
-        from repro.frame import FrameSimulator
+    from repro.backends import get_backend
 
-        return FrameSimulator(circuit)
-    from repro.core import compile_sampler
-
-    return compile_sampler(circuit)
+    return get_backend(spec.sampler).compile(circuit)
 
 
 def _build_decoder(spec: ChunkSpec, circuit):

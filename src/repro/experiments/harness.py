@@ -11,11 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import compile_backend
 from repro.circuit.circuit import Circuit
-from repro.core import CompiledSampler, SymPhaseSimulator
 from repro.engine.cache import shared_cache
 from repro.experiments.timing import format_table, time_call
-from repro.frame import FrameSimulator
 from repro.layout import make_layout
 from repro.qec import surface_code_memory
 from repro.workloads.layered import (
@@ -25,16 +24,16 @@ from repro.workloads.layered import (
 )
 
 
-def _cached_sampler(circuit: Circuit) -> CompiledSampler:
-    """Compiled sampler via the engine's fingerprint-keyed cache.
+def _cached_sampler(circuit: Circuit, backend: str = "symbolic"):
+    """Backend sampler via the engine's fingerprint-keyed cache.
 
     Used wherever the harness needs a sampler but is *not* timing its
-    construction — repeated invocations (sweeps, ``all``) then pay
-    Algorithm 1's Initialization once per distinct circuit.
+    construction — repeated invocations (sweeps, ``all``) then pay each
+    backend's one-time compile once per distinct circuit.
     """
     return shared_cache().get_or_build(
-        ("sampler", circuit.fingerprint(), "symphase"),
-        lambda: CompiledSampler(SymPhaseSimulator.from_circuit(circuit)),
+        ("sampler", circuit.fingerprint(), backend),
+        lambda: compile_backend(circuit, backend),
     )
 
 _FIG3_BUILDERS = {
@@ -45,13 +44,19 @@ _FIG3_BUILDERS = {
 
 
 def measure_circuit(
-    circuit: Circuit, shots: int, seed: int = 0
+    circuit: Circuit, shots: int, seed: int = 0,
+    frame_backend: str = "frame",
 ) -> dict[str, float]:
-    """Init + sampling wall time for both samplers on one circuit."""
+    """Init + sampling wall time for both samplers on one circuit.
+
+    ``frame_backend`` picks the Stim-role baseline: ``"frame"`` (the
+    compiled frame program — the strongest baseline) or
+    ``"frame-interp"`` (the pre-compilation interpreter).
+    """
     rng = np.random.default_rng(seed)
 
     init_sym, sampler = time_call(
-        lambda: CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
+        lambda: compile_backend(circuit, "symbolic")
     )
     sample_sym, _ = time_call(lambda: sampler.sample(shots, rng))
     # Eq. 4 evaluation alone, with the symbol draw (identical for every
@@ -61,7 +66,9 @@ def measure_circuit(
         lambda: sampler.sample(shots, rng, symbol_values=symbol_values)
     )
 
-    init_frame, frame = time_call(lambda: FrameSimulator(circuit))
+    init_frame, frame = time_call(
+        lambda: compile_backend(circuit, frame_backend)
+    )
     sample_frame, _ = time_call(lambda: frame.sample(shots, rng))
 
     return {
@@ -145,7 +152,7 @@ def run_table1(
         n_qubits, n_layers=40, cnot_pairs_per_layer=5, seed=seed
     )
     sampler = _cached_sampler(circuit)
-    frame = FrameSimulator(circuit)
+    frame = _cached_sampler(circuit, "frame")
     shot_rows = []
     rng = np.random.default_rng(seed)
     for shots in shot_sweep:

@@ -1,12 +1,20 @@
-"""Pauli-frame baseline sampler (the algorithm Stim uses).
+"""Pauli-frame sampler (the algorithm Stim uses), compiled or interpreted.
 
 This is the comparison target of the paper's evaluation: sampling
 re-traverses the circuit once per batch, propagating a Pauli *frame*
 (the difference between the noisy state and a noiseless reference run)
 bit-packed across shots.  Its per-batch cost scales with the gate count
 ``n_g`` — the term phase symbolization removes.
+
+The traversal itself comes in two flavours:
+:class:`~repro.frame.program.FrameProgram` lowers the circuit once into
+a fused, vectorized op list (the default), while ``mode="interpreted"``
+keeps the per-instruction Python dispatch as a baseline and
+differential-testing oracle.  Both produce bitwise-identical samples
+for the same seed.
 """
 
 from repro.frame.frame_simulator import FrameSimulator
+from repro.frame.program import FrameProgram, compile_frame_program
 
-__all__ = ["FrameSimulator"]
+__all__ = ["FrameProgram", "FrameSimulator", "compile_frame_program"]

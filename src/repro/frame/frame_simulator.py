@@ -14,17 +14,35 @@ Correctness model (Rall et al. 2019; Gidney 2021):
 * after each measurement or reset the measured qubit's Z frame is
   re-randomized, which reproduces the uniform distribution of
   intrinsically random outcomes.
+
+Two execution modes share this model:
+
+* ``mode="compiled"`` (default) lowers the circuit **once** into a
+  :class:`~repro.frame.program.FrameProgram` — a fused op list executed
+  with no per-qubit Python dispatch;
+* ``mode="interpreted"`` re-dispatches every instruction through Python
+  on every ``sample`` call (the pre-compilation baseline, kept for
+  benchmarking and as a differential-testing oracle).
+
+Both modes consume the RNG in the same order, so their samples are
+bitwise identical for the same seed.  Detector and observable
+derivation happens in the packed domain for both: an XOR of packed
+record rows via precomputed index lists
+(:func:`repro.gf2.bitops.xor_select_rows`), never an unpack-and-sum.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.instructions import Instruction, RecTarget
-from repro.gates.database import get_gate
+from repro.circuit.transforms import resolve_record_annotations
+from repro.frame.program import (
+    FrameProgram,
+    _symplectic,
+    disjoint_runs,
+)
 from repro.gf2 import bitops
 from repro.noise.channels import noise_groups, sample_patterns_batch
 from repro.rng import as_generator
@@ -33,21 +51,73 @@ from repro.tableau.simulator import reference_sample
 _BASIS_CONJUGATION = {"X": "H", "Y": "H_YZ"}
 _U64 = np.uint64
 
+_MODES = ("compiled", "interpreted")
+
 
 class FrameSimulator:
     """Samples a noisy circuit by per-batch Pauli-frame propagation."""
 
-    def __init__(self, circuit: Circuit, reference: np.ndarray | None = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        reference: np.ndarray | None = None,
+        mode: str = "compiled",
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.circuit = circuit
+        self.mode = mode
         self.n_qubits = max(circuit.n_qubits, 1)
         # Initialization-time analysis: one noiseless tableau run.
         self.reference = (
             reference if reference is not None else reference_sample(circuit)
         )
         self.instructions = list(circuit.flattened())
-        self.detectors, self.observables = _collect_annotations(self.instructions)
+        # Only the compiled mode pays the lowering pass; the interpreted
+        # baseline resolves annotations directly so its init time really
+        # is the pre-compilation cost (bench_frame.py tracks both).
+        if mode == "compiled":
+            self.program = FrameProgram(circuit, self.instructions)
+            self.detectors = self.program.detectors
+            self.observables = self.program.observables
+        else:
+            self.program = None
+            self.detectors, self.observables = resolve_record_annotations(
+                self.instructions
+            )
+        # Reference parities per derived row: detector i fires when the
+        # XOR of its referenced *outcomes* is 1, i.e. (XOR of flips) ^
+        # (XOR of reference bits).  The reference part is a constant.
+        self._detector_reference = self._reference_parity(self.detectors)
+        self._observable_reference = self._reference_parity(self.observables)
+
+    def _reference_parity(self, index_lists) -> np.ndarray:
+        return np.array(
+            [
+                int(self.reference[indices].sum() & 1) if len(indices) else 0
+                for indices in index_lists
+            ],
+            dtype=np.uint8,
+        )
 
     # -- sampling --------------------------------------------------------
+
+    def sample_packed_flips(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Packed flip rows: uint64 array of shape (n_records, n_words).
+
+        Bit ``k`` of row ``m`` says whether shot ``k`` flips recorded
+        outcome ``m`` relative to the reference sample.  This is the
+        native output of frame propagation; ``sample`` and
+        ``sample_detectors`` are thin views over it.
+        """
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        rng = as_generator(rng)
+        if self.mode == "compiled":
+            return self.program.run(shots, rng)
+        return self._run_interpreted(shots, rng)
 
     def sample(
         self, shots: int, rng: int | np.random.Generator | None = None
@@ -56,40 +126,47 @@ class FrameSimulator:
 
         ``rng`` may be an int seed, a Generator, or ``None``.
         """
-        if shots < 1:
-            raise ValueError("shots must be positive")
-        rng = as_generator(rng)
-        n_words = bitops.words_for(shots)
-        x_frame = np.zeros((self.n_qubits, n_words), dtype=_U64)
-        z_frame = bitops.random_packed(
-            (self.n_qubits, n_words), shots, rng
-        )
-        record_rows: list[np.ndarray] = []
-
-        for instruction in self.instructions:
-            self._do(instruction, x_frame, z_frame, record_rows, shots, rng)
-
-        if not record_rows:
+        packed = self.sample_packed_flips(shots, rng)
+        if packed.shape[0] == 0:
             return np.zeros((shots, 0), dtype=np.uint8)
-        packed = np.stack(record_rows)  # (n_m, n_words)
         flips = bitops.unpack_rows(packed, shots).T  # (shots, n_m)
         return flips ^ self.reference[None, :]
 
     def sample_detectors(
         self, shots: int, rng: int | np.random.Generator | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Detector and observable samples derived from the measurement
-        records (XOR of the referenced outcomes)."""
-        records = self.sample(shots, rng)
-        detectors = np.zeros((shots, len(self.detectors)), dtype=np.uint8)
-        for i, indices in enumerate(self.detectors):
-            if len(indices):
-                detectors[:, i] = records[:, indices].sum(axis=1) & 1
-        observables = np.zeros((shots, len(self.observables)), dtype=np.uint8)
-        for i, indices in enumerate(self.observables):
-            if len(indices):
-                observables[:, i] = records[:, indices].sum(axis=1) & 1
+        """Detector and observable samples, derived in the packed domain.
+
+        Each derived row is an XOR of packed record rows (precomputed
+        index lists), plus the constant reference parity.
+        """
+        packed = self.sample_packed_flips(shots, rng)
+        detectors = self._derive(packed, self.detectors,
+                                 self._detector_reference, shots)
+        observables = self._derive(packed, self.observables,
+                                   self._observable_reference, shots)
         return detectors, observables
+
+    @staticmethod
+    def _derive(packed, index_lists, reference_parity, shots) -> np.ndarray:
+        derived = bitops.xor_select_rows(packed, index_lists)
+        bits = bitops.unpack_rows(derived, shots).T  # (shots, n_rows)
+        return bits ^ reference_parity[None, :]
+
+    # -- interpreted mode ------------------------------------------------
+
+    def _run_interpreted(
+        self, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_words = bitops.words_for(shots)
+        x_frame = np.zeros((self.n_qubits, n_words), dtype=_U64)
+        z_frame = bitops.random_packed((self.n_qubits, n_words), shots, rng)
+        record_rows: list[np.ndarray] = []
+        for instruction in self.instructions:
+            self._do(instruction, x_frame, z_frame, record_rows, shots, rng)
+        if not record_rows:
+            return np.zeros((0, n_words), dtype=_U64)
+        return np.stack(record_rows)
 
     # -- instruction handlers -----------------------------------------------
 
@@ -110,16 +187,23 @@ class FrameSimulator:
                 _apply_unitary(gate.name, instruction.targets, x_frame, z_frame)
         elif gate.kind in ("measure", "reset", "measure_reset"):
             conj = _BASIS_CONJUGATION.get(gate.basis)
-            for qubit in instruction.targets:
+            reset = gate.kind in ("reset", "measure_reset")
+            # One packed draw per disjoint run of targets (normally one
+            # per instruction) instead of one per qubit.
+            for run in disjoint_runs(instruction.targets):
                 if conj:
-                    _apply_unitary(conj, (qubit,), x_frame, z_frame)
+                    _apply_unitary(conj, tuple(run), x_frame, z_frame)
                 if gate.produces_record:
-                    record_rows.append(x_frame[qubit].copy())
-                if gate.kind in ("reset", "measure_reset"):
-                    x_frame[qubit] = 0
-                z_frame[qubit] = bitops.random_packed((1, z_frame.shape[1]), shots, rng)[0]
+                    for qubit in run:
+                        record_rows.append(x_frame[qubit].copy())
+                idx = np.asarray(run, dtype=np.intp)
+                if reset:
+                    x_frame[idx] = 0
+                z_frame[idx] = bitops.random_packed(
+                    (len(run), z_frame.shape[1]), shots, rng
+                )
                 if conj:
-                    _apply_unitary(conj, (qubit,), x_frame, z_frame)
+                    _apply_unitary(conj, tuple(run), x_frame, z_frame)
         elif gate.kind == "noise":
             self._apply_noise(instruction, x_frame, z_frame, shots, rng)
         elif gate.kind == "annotation":
@@ -184,16 +268,15 @@ class FrameSimulator:
                         z_frame[qubit] ^= packed
 
 
-@lru_cache(maxsize=None)
-def _symplectic(name: str) -> tuple[np.ndarray, int]:
-    table = get_gate(name).table
-    return table.symplectic_matrix(), table.n_qubits
-
-
 def _apply_unitary(
     name: str, targets: tuple[int, ...], x_frame: np.ndarray, z_frame: np.ndarray
 ) -> None:
-    """Conjugate the frames through a Clifford gate (phase-free action)."""
+    """Conjugate the frames through a Clifford gate (phase-free action).
+
+    Interpreted-mode kernel: loops per qubit / per pair in Python, which
+    is exactly the per-batch dispatch cost the compiled
+    :class:`~repro.frame.program.FrameProgram` removes.
+    """
     sym, n_qubits = _symplectic(name)
     if n_qubits == 1:
         for qubit in targets:
@@ -214,33 +297,3 @@ def _apply_unitary(
                 new.append(acc)
             x_frame[a], z_frame[a] = new[0], new[1]
             x_frame[b], z_frame[b] = new[2], new[3]
-
-
-def _collect_annotations(
-    instructions: list[Instruction],
-) -> tuple[list[np.ndarray], list[np.ndarray]]:
-    """Resolve DETECTOR / OBSERVABLE_INCLUDE lookbacks to absolute indices."""
-    measured = 0
-    detectors: list[np.ndarray] = []
-    observables: dict[int, list[int]] = {}
-    for instruction in instructions:
-        gate = instruction.gate
-        if gate.produces_record:
-            measured += len(instruction.targets)
-        elif instruction.name == "DETECTOR":
-            indices = [
-                measured + t.offset
-                for t in instruction.targets
-                if isinstance(t, RecTarget)
-            ]
-            detectors.append(np.array(indices, dtype=np.int64))
-        elif instruction.name == "OBSERVABLE_INCLUDE":
-            observables.setdefault(int(instruction.args[0]), []).extend(
-                measured + t.offset
-                for t in instruction.targets
-                if isinstance(t, RecTarget)
-            )
-    observable_list = [
-        np.array(observables[k], dtype=np.int64) for k in sorted(observables)
-    ]
-    return detectors, observable_list

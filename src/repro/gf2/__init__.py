@@ -24,6 +24,7 @@ from repro.gf2.bitops import (
     unpack_rows,
     words_for,
     xor_bit,
+    xor_select_rows,
 )
 from repro.gf2.bitmat import BitMatrix
 from repro.gf2.matmul import (
@@ -69,4 +70,5 @@ __all__ = [
     "unpack_rows",
     "words_for",
     "xor_bit",
+    "xor_select_rows",
 ]

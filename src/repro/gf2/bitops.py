@@ -114,6 +114,33 @@ def parity_words(words: np.ndarray, axis: int | None = None) -> np.ndarray:
     return (total & 1).astype(np.uint8)
 
 
+def xor_select_rows(matrix: np.ndarray, index_lists) -> np.ndarray:
+    """XOR-combine selected rows of a packed matrix.
+
+    ``out[i]`` is the GF(2) sum (XOR) of ``matrix[j]`` for ``j`` in
+    ``index_lists[i]``; an empty list yields a zero row.  This is the
+    packed-domain parity behind derived rows — detectors and observables
+    are XORs of measurement rows — shared by the frame and symbolic
+    samplers.  One gather plus one segmented reduce; no per-row Python
+    loop over the (typically thousands of) derived rows.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=_U64)
+    if matrix.ndim != 2:
+        raise ValueError("xor_select_rows expects a 2-D packed matrix")
+    out = np.zeros((len(index_lists), matrix.shape[1]), dtype=_U64)
+    lengths = np.array([len(ix) for ix in index_lists], dtype=np.int64)
+    nonempty = np.nonzero(lengths)[0]
+    if nonempty.size == 0:
+        return out
+    flat = np.concatenate(
+        [np.asarray(index_lists[i], dtype=np.int64) for i in nonempty]
+    )
+    offsets = np.zeros(nonempty.size, dtype=np.int64)
+    np.cumsum(lengths[nonempty][:-1], out=offsets[1:])
+    out[nonempty] = np.bitwise_xor.reduceat(matrix[flat], offsets, axis=0)
+    return out
+
+
 def random_packed(
     shape: tuple[int, int],
     n_bits: int,

@@ -61,6 +61,20 @@ def sample_patterns_batch(
     thresholds = np.cumsum(probs / probs.sum())[:-1]
     uniforms = rng.random(size)
     patterns = np.zeros(size, dtype=np.uint8)  # <= 16 outcomes fit easily
+    if thresholds.size == 0:
+        return patterns
+    # Identical output either way; only the scan strategy differs.  The
+    # dense path touches the whole array once per threshold; the sparse
+    # path touches it once and then classifies only the entries past the
+    # first threshold — at QEC noise strengths (first outcome carries
+    # almost all mass) that is a handful of entries per million.
+    if (1.0 - thresholds[0]) * thresholds.size < 0.5:
+        hot = uniforms >= thresholds[0]
+        if hot.any():
+            patterns[hot] = np.searchsorted(
+                thresholds, uniforms[hot], side="right"
+            ).astype(np.uint8)
+        return patterns
     for threshold in thresholds:
         patterns += uniforms >= threshold
     return patterns

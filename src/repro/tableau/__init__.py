@@ -10,6 +10,7 @@ source of the *reference sample* for the Pauli-frame baseline.
 
 from repro.tableau.tableau import Tableau
 from repro.tableau.simulator import TableauSimulator, reference_sample
+from repro.tableau.sampler import TableauSampler
 from repro.tableau.clifford_map import CliffordMap
 from repro.tableau.packed import PackedTableau, simulate_hybrid
 
@@ -17,6 +18,7 @@ __all__ = [
     "CliffordMap",
     "PackedTableau",
     "Tableau",
+    "TableauSampler",
     "TableauSimulator",
     "reference_sample",
     "simulate_hybrid",

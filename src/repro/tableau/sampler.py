@@ -1,0 +1,65 @@
+"""Per-shot Monte-Carlo sampling on the Aaronson–Gottesman tableau.
+
+:class:`TableauSampler` adapts the single-shot
+:class:`~repro.tableau.simulator.TableauSimulator` to the sampler
+backend protocol (``sample`` / ``sample_detectors``).  Every shot is a
+full circuit traversal, so throughput is orders of magnitude below the
+batch samplers — this backend exists as an exact, assumption-free
+oracle for cross-backend validation and tiny-circuit exploration, not
+for production sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.transforms import resolve_record_annotations
+from repro.rng import as_generator
+from repro.tableau.simulator import TableauSimulator
+
+
+class TableauSampler:
+    """Sampler-protocol adapter over per-shot tableau simulation."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.n_qubits = max(circuit.n_qubits, 1)
+        self.instructions = list(circuit.flattened())
+        self.detectors, self.observables = resolve_record_annotations(
+            self.instructions
+        )
+        self.n_measurements = circuit.num_measurements
+
+    def sample(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Sample measurement records: uint8 array of shape (shots, n_m)."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        rng = as_generator(rng)
+        records = np.zeros((shots, self.n_measurements), dtype=np.uint8)
+        for shot in range(shots):
+            simulator = TableauSimulator(self.n_qubits, rng)
+            for instruction in self.instructions:
+                simulator.do_instruction(instruction)
+            records[shot] = simulator.record
+        return records
+
+    def sample_detectors(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Detector and observable samples derived from the records."""
+        records = self.sample(shots, rng)
+        return (
+            self._derive(records, self.detectors),
+            self._derive(records, self.observables),
+        )
+
+    @staticmethod
+    def _derive(records: np.ndarray, index_lists) -> np.ndarray:
+        out = np.zeros((records.shape[0], len(index_lists)), dtype=np.uint8)
+        for i, indices in enumerate(index_lists):
+            if len(indices):
+                out[:, i] = records[:, indices].sum(axis=1) & 1
+        return out

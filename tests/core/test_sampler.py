@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuit import Circuit
-from repro.core import CompiledSampler, SymPhaseSimulator, compile_sampler
+from repro.core import compile_sampler
 
 
 def bell_with_noise(p=0.3):

@@ -1,7 +1,6 @@
 """Tests for the matching and lookup decoders."""
 
 import numpy as np
-import pytest
 
 from repro.decoders import LookupDecoder, MatchingDecoder, logical_error_rate
 from repro.dem import DetectorErrorModel, ErrorMechanism, extract_dem

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuit import Circuit
 from repro.core import compile_sampler
-from repro.dem import DetectorErrorModel, ErrorMechanism, extract_dem
+from repro.dem import ErrorMechanism, extract_dem
 from repro.qec import repetition_code_memory, surface_code_memory
 
 

@@ -183,7 +183,7 @@ class TestCacheIntegration:
             collect([task], base_seed=SEED, workers=1, chunk_shots=250)
             cache = shared_cache()
             fingerprint = task.circuit_fingerprint()
-            assert ("sampler", fingerprint, "symphase") in cache
+            assert ("sampler", fingerprint, "symbolic") in cache
             assert ("decoder", fingerprint, "matching") in cache
             # 8 chunks -> 1 miss + 7 hits for each cached artifact kind.
             assert cache.hits > cache.misses

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gates.anf import GateKernel, gate_kernel, moebius_transform
+from repro.gates.anf import gate_kernel, moebius_transform
 from repro.gates.tables import conjugation_table
 from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
 

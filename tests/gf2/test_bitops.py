@@ -145,3 +145,66 @@ class TestRandomPacked:
         out = bitops.random_packed((200, 2), 128, rng)
         density = bitops.popcount(out).sum() / (200 * 128)
         assert 0.45 < density < 0.55
+
+
+class TestXorSelectRows:
+    def test_basic_xor(self, rng):
+        bits = (rng.random((6, 100)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        out = bitops.xor_select_rows(packed, [[0, 2, 5], [1], []])
+        expected = np.stack([
+            bits[0] ^ bits[2] ^ bits[5],
+            bits[1],
+            np.zeros(100, dtype=np.uint8),
+        ])
+        assert np.array_equal(bitops.unpack_rows(out, 100), expected)
+
+    def test_empty_lists_only(self):
+        packed = np.zeros((3, 2), dtype=np.uint64)
+        out = bitops.xor_select_rows(packed, [[], []])
+        assert out.shape == (2, 2)
+        assert not out.any()
+
+    def test_no_lists(self):
+        packed = np.ones((3, 2), dtype=np.uint64)
+        out = bitops.xor_select_rows(packed, [])
+        assert out.shape == (0, 2)
+
+    def test_repeated_index_cancels(self, rng):
+        bits = (rng.random((2, 64)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        out = bitops.xor_select_rows(packed, [[0, 0], [0, 0, 1]])
+        assert not out[0].any()
+        assert np.array_equal(bitops.unpack_rows(out[1:], 64)[0], bits[1])
+
+    def test_accepts_numpy_index_arrays(self, rng):
+        bits = (rng.random((4, 70)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        lists = [np.array([1, 3], dtype=np.int64), np.array([], dtype=np.int64)]
+        out = bitops.xor_select_rows(packed, lists)
+        assert np.array_equal(
+            bitops.unpack_rows(out, 70)[0], bits[1] ^ bits[3]
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bitops.xor_select_rows(np.zeros(3, dtype=np.uint64), [[0]])
+
+    @given(st.integers(0, 2**32))
+    def test_matches_dense_reference(self, seed):
+        local = np.random.default_rng(seed)
+        n_rows, n_cols = int(local.integers(1, 9)), int(local.integers(1, 140))
+        bits = (local.random((n_rows, n_cols)) < 0.5).astype(np.uint8)
+        packed = bitops.pack_rows(bits)
+        lists = [
+            list(local.integers(0, n_rows, size=local.integers(0, 6)))
+            for _ in range(int(local.integers(1, 5)))
+        ]
+        out = bitops.xor_select_rows(packed, lists)
+        for i, indices in enumerate(lists):
+            expected = np.zeros(n_cols, dtype=np.uint8)
+            for j in indices:
+                expected ^= bits[j]
+            assert np.array_equal(
+                bitops.unpack_rows(out[i:i + 1], n_cols)[0], expected
+            )

@@ -89,15 +89,66 @@ def random_clifford_circuit(
 
 def record_distribution(records: np.ndarray) -> dict[int, float]:
     """Empirical distribution over whole measurement records."""
-    if records.shape[1] > 20:
-        raise ValueError("record too wide for exact distribution comparison")
-    keys = records @ (1 << np.arange(records.shape[1], dtype=np.int64))
-    values, counts = np.unique(keys, return_counts=True)
     total = records.shape[0]
-    return {int(v): c / total for v, c in zip(values, counts)}
+    return {k: c / total for k, c in counts_by_record(records).items()}
 
 
 def total_variation(p: dict[int, float], q: dict[int, float]) -> float:
     """Total-variation distance between two record distributions."""
     keys = set(p) | set(q)
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def counts_by_record(records: np.ndarray) -> dict[int, int]:
+    """Raw outcome counts over whole records (keys as packed ints)."""
+    if records.shape[1] > 20:
+        raise ValueError("record too wide for exact count comparison")
+    keys = records @ (1 << np.arange(records.shape[1], dtype=np.int64))
+    values, counts = np.unique(keys, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def chi_square_two_sample(
+    counts_a: dict[int, int], counts_b: dict[int, int]
+) -> tuple[float, float]:
+    """Two-sample chi-square homogeneity test between outcome counts.
+
+    Returns ``(statistic, threshold)`` where ``threshold`` is the
+    approximate 99.95% quantile of the chi-square distribution with
+    ``cells - 1`` degrees of freedom (Wilson-Hilferty), so
+    ``statistic < threshold`` is a [false-positive rate ~ 5e-4] check
+    that both samplers draw from the same distribution.
+    """
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    k_a = (total_b / total_a) ** 0.5
+    k_b = (total_a / total_b) ** 0.5
+    cells = set(counts_a) | set(counts_b)
+    statistic = 0.0
+    for cell in cells:
+        observed_a = counts_a.get(cell, 0)
+        observed_b = counts_b.get(cell, 0)
+        statistic += (k_a * observed_a - k_b * observed_b) ** 2 / (
+            observed_a + observed_b
+        )
+    dof = max(len(cells) - 1, 1)
+    z = 3.2905  # standard normal quantile at 0.9995
+    threshold = dof * (1 - 2 / (9 * dof) + z * (2 / (9 * dof)) ** 0.5) ** 3
+    return statistic, threshold
+
+
+def append_random_annotations(
+    circuit: Circuit, rng: np.random.Generator, n_detectors: int = 2
+) -> Circuit:
+    """Append random DETECTOR/OBSERVABLE_INCLUDE lookbacks to a circuit."""
+    n_m = circuit.num_measurements
+    if n_m == 0:
+        return circuit
+    for _ in range(n_detectors):
+        size = int(rng.integers(1, min(n_m, 3) + 1))
+        lookbacks = rng.choice(n_m, size=size, replace=False)
+        circuit.detector(*(-int(k) - 1 for k in lookbacks))
+    size = int(rng.integers(1, min(n_m, 4) + 1))
+    lookbacks = rng.choice(n_m, size=size, replace=False)
+    circuit.observable_include(0, *(-int(k) - 1 for k in lookbacks))
+    return circuit

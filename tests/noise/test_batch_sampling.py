@@ -1,7 +1,6 @@
 """Tests for the vectorized categorical sampler behind noise draws."""
 
 import numpy as np
-import pytest
 
 from repro.noise.channels import sample_patterns_batch
 

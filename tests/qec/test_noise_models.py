@@ -1,7 +1,5 @@
 """Tests for the circuit-level noise transformer."""
 
-import pytest
-
 from repro.circuit import Circuit
 from repro.circuit.instructions import RepeatBlock
 from repro.qec import NoiseModel, with_noise

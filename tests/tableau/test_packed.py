@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuit import Circuit
-from repro.tableau import Tableau, TableauSimulator
+from repro.tableau import Tableau
 from repro.tableau.packed import PackedTableau, simulate_hybrid
 from tests.helpers import SINGLE_QUBIT_GATES, TWO_QUBIT_GATES
 

@@ -1,7 +1,6 @@
 """Tests for the single-shot tableau simulator and reference sampling."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import Circuit
 from repro.tableau import TableauSimulator, reference_sample
