@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core import CompiledSampler, SymPhaseSimulator
-from repro.decoders import MatchingDecoder
+from repro.decoders import CompiledMatchingDecoder, MatchingDecoder
 from repro.dem import extract_dem
 from repro.qec import repetition_code_memory
 
@@ -57,4 +57,11 @@ def test_stage_extract_dem(benchmark, pipeline):
 def test_stage_decode(benchmark, pipeline):
     benchmark.group = "gadget-eval-stages"
     decoder, detectors = pipeline[3], pipeline[4]
+    benchmark(decoder.decode_batch, detectors)
+
+
+def test_stage_decode_compiled(benchmark, pipeline):
+    benchmark.group = "gadget-eval-stages"
+    dem, detectors = pipeline[2], pipeline[4]
+    decoder = CompiledMatchingDecoder(dem)
     benchmark(decoder.decode_batch, detectors)

@@ -13,6 +13,12 @@ shot budget with derived per-chunk seeds, and reports Wilson-interval
 logical error rates.  Set ``WORKERS`` > 1 to fan chunks out across
 processes; the counts are bitwise identical either way.
 
+Decoders are picked by registry name, exactly like sampler backends:
+``decoder="compiled-matching"`` is MWPM lowered once into flat arrays
+(all-pairs shortest paths precomputed), whose predictions are bitwise
+identical to the per-shot ``"matching"`` reference — so swapping one
+for the other changes wall time, never the counts.
+
 Run:  python examples/decoding_threshold.py
 """
 
@@ -30,7 +36,7 @@ rep_tasks = [
             data_flip_probability=p,
             measure_flip_probability=p,
         ),
-        decoder="matching",
+        decoder="compiled-matching",
         max_shots=SHOTS,
         metadata={"d": d, "p": p},
     )
@@ -65,7 +71,7 @@ surface_tasks = [
             after_clifford_depolarization=p,
             before_measure_flip_probability=p,
         ),
-        decoder="matching",
+        decoder="compiled-matching",
         sampler="frame",
         max_shots=SHOTS,
         metadata={"p": p},

@@ -4,8 +4,11 @@ Usage::
 
     repro sample circuit.stim --shots 1000 [--backend frame|symbolic|...]
     repro detect circuit.stim --shots 1000
+    repro decode circuit.stim --shots 20000 --decoder compiled-matching \\
+        --workers 4                     # sample + decode + score one circuit
     repro analyze circuit.stim          # symbolic measurement expressions
     repro backends                      # registered sampler backends
+    repro decoders                      # registered syndrome decoders
     repro stats circuit.stim            # operation counts
     repro collect --code both --distances 3,5 --probabilities 0.01,0.02 \\
         --max-shots 20000 --max-errors 200 --workers 4 --out results.jsonl
@@ -26,6 +29,11 @@ from repro.backends import (
 )
 from repro.circuit import Circuit
 from repro.core import SymPhaseSimulator
+from repro.decoders import (
+    available_decoders,
+    decoder_choices,
+    get_decoder,
+)
 
 _BACKEND_HELP = """\
 backends (see `repro backends` for the registered list):
@@ -44,6 +52,24 @@ backends (see `repro backends` for the registered list):
 Every backend pays its analysis once per compiled sampler; the collection
 engine caches compiled samplers by circuit fingerprint, so a sweep pays each
 circuit's compile exactly once per worker process.
+"""
+
+_DECODER_HELP = """\
+decoders (see `repro decoders` for the registered list):
+  compiled-matching  MWPM lowered once into flat arrays (all-pairs shortest
+                     paths + path observable masks precomputed); batches
+                     decode through vectorized pair lookups.  Bitwise
+                     identical predictions to `matching` and the default
+                     for anything beyond a handful of shots.
+  matching           per-shot Dijkstra + blossom MWPM; the readable
+                     reference implementation.
+  lookup             maximum-likelihood syndrome table; exact up to the
+                     enumerated fault weight, small DEMs only.
+  none               (collect/decode) skip decoding; any raw observable
+                     flip counts as an error.
+
+Decoders compile once per distinct circuit per worker process (the same
+fingerprint-keyed cache the samplers use).
 """
 
 
@@ -85,6 +111,61 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         if info.oracle:
             flags.append("oracle")
         print(f"{name:<14} [{', '.join(flags)}]  {info.description}")
+    return 0
+
+
+def _cmd_decoders(args: argparse.Namespace) -> int:
+    for name in available_decoders():
+        info = get_decoder(name).info
+        flags = []
+        if info.compile_once:
+            flags.append("compile-once")
+        if info.batched:
+            flags.append("batched")
+        if info.graphlike_only:
+            flags.append("graphlike-only")
+        if info.exact:
+            flags.append("exact")
+        print(f"{name:<18} [{', '.join(flags)}]  {info.description}")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    """Sample + decode + score one circuit through the engine.
+
+    The whole gadget-evaluation loop the paper's introduction motivates:
+    derived-seed chunks fan out across ``--workers`` processes, each
+    sampling detectors with the chosen backend and decoding them with
+    the registry-resolved decoder.
+    """
+    from repro.engine import Task, collect
+
+    circuit = _load(args.circuit)
+    task = Task(
+        circuit,
+        decoder=args.decoder,
+        sampler=args.sampler,
+        max_shots=args.shots,
+        max_errors=args.max_errors,
+    )
+    stats = collect(
+        [task],
+        base_seed=args.seed,
+        workers=args.workers,
+        chunk_shots=args.chunk_shots,
+    )[0]
+    low, high = stats.wilson()
+    rate = stats.shots / stats.seconds if stats.seconds else float("inf")
+    print(f"decoder:          {task.decoder}")
+    print(f"sampler:          {task.sampler}")
+    print(f"shots:            {stats.shots}")
+    print(f"logical errors:   {stats.errors}")
+    print(f"logical err rate: {stats.error_rate:.6e}")
+    print(f"wilson 95% CI:    [{low:.6e}, {high:.6e}]")
+    # End-to-end pipeline rate (compile + sample + decode), not the
+    # decoder's decode_batch throughput — bench_decode.py measures that.
+    print(f"pipeline:         {rate:,.0f} shots/sec "
+          f"({stats.seconds:.2f}s, workers={args.workers})")
     return 0
 
 
@@ -223,6 +304,45 @@ def main(argv: list[str] | None = None) -> int:
         "backends",
         help="list registered sampler backends and their capabilities",
     )
+    sub.add_parser(
+        "decoders",
+        help="list registered syndrome decoders and their capabilities",
+    )
+
+    decode_parser = sub.add_parser(
+        "decode",
+        help="sample + decode + score one circuit (logical error rate)",
+        description=(
+            "Estimate the logical error rate of one noisy circuit: "
+            "detector samples stream through the collection engine in "
+            "derived-seed chunks (optionally across worker processes), "
+            "each chunk decoded by the registry-resolved decoder.  "
+            "Counts are independent of --workers."
+        ),
+        epilog=_DECODER_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    decode_parser.add_argument(
+        "circuit", help="path to a .stim-dialect circuit file"
+    )
+    decode_parser.add_argument("--shots", type=int, default=10_000)
+    decode_parser.add_argument(
+        "--decoder",
+        choices=decoder_choices() + ("none",),
+        default="compiled-matching",
+    )
+    decode_parser.add_argument(
+        "--backend", "--sampler", dest="sampler",
+        choices=backend_choices(), default="frame",
+        help="sampler backend (--sampler is a deprecated alias)",
+    )
+    decode_parser.add_argument(
+        "--max-errors", type=int, default=None,
+        help="stop early once this many logical errors accumulate",
+    )
+    decode_parser.add_argument("--chunk-shots", type=int, default=2_000)
+    decode_parser.add_argument("--workers", type=int, default=1)
+    decode_parser.add_argument("--seed", type=int, default=0)
 
     collect_parser = sub.add_parser(
         "collect",
@@ -235,7 +355,7 @@ def main(argv: list[str] | None = None) -> int:
             "compiled once per worker process (fingerprint-keyed sampler "
             "cache); sampling afterwards never re-analyzes the circuit."
         ),
-        epilog=_BACKEND_HELP,
+        epilog=_BACKEND_HELP + "\n" + _DECODER_HELP,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     collect_parser.add_argument(
@@ -251,7 +371,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     collect_parser.add_argument("--rounds", type=int, default=3)
     collect_parser.add_argument(
-        "--decoder", choices=["matching", "lookup", "none"], default="matching"
+        "--decoder",
+        choices=decoder_choices() + ("none",),
+        default="compiled-matching",
+        help="registry decoder name/alias, or 'none' to count raw flips",
     )
     collect_parser.add_argument(
         "--backend", "--sampler", dest="sampler",
@@ -278,8 +401,10 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "sample": _cmd_sample,
         "detect": _cmd_detect,
+        "decode": _cmd_decode,
         "analyze": _cmd_analyze,
         "backends": _cmd_backends,
+        "decoders": _cmd_decoders,
         "stats": _cmd_stats,
         "collect": _cmd_collect,
     }

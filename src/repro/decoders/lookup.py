@@ -23,28 +23,33 @@ class LookupDecoder:
         self.n_detectors = dem.n_detectors
         self.n_observables = dem.n_observables
         self.table: dict[bytes, np.ndarray] = {}
-        best_log_prob: dict[bytes, float] = {}
+        best_score: dict[bytes, float] = {}
 
         mechanisms = dem.mechanisms
-        log_probs = [
-            math.log(min(max(m.probability, 1e-15), 1 - 1e-15))
-            for m in mechanisms
-        ]
+        # P(fault set S) = prod(1-p) over all mechanisms (constant) times
+        # prod p/(1-p) over S, so MAP ranks fault sets by the sum of
+        # *log-odds*.  Plain sum-log-p would not rank correctly across
+        # sets of different sizes: the prod(1-p) prior only factors out
+        # of the odds ratio, not out of the raw likelihood.
+        log_odds = []
+        for m in mechanisms:
+            p = min(max(m.probability, 1e-15), 1 - 1e-15)
+            log_odds.append(math.log(p / (1 - p)))
         for weight in range(0, max_weight + 1):
             for combo in combinations(range(len(mechanisms)), weight):
                 syndrome = np.zeros(self.n_detectors, dtype=np.uint8)
                 correction = np.zeros(self.n_observables, dtype=np.uint8)
-                log_prob = 0.0
+                score = 0.0
                 for index in combo:
                     mech = mechanisms[index]
                     for d in mech.detectors:
                         syndrome[d] ^= 1
                     for o in mech.observables:
                         correction[o] ^= 1
-                    log_prob += log_probs[index]
+                    score += log_odds[index]
                 key = syndrome.tobytes()
-                if log_prob > best_log_prob.get(key, -math.inf):
-                    best_log_prob[key] = log_prob
+                if score > best_score.get(key, -math.inf):
+                    best_score[key] = score
                     self.table[key] = correction
 
     def decode(self, syndrome: np.ndarray) -> np.ndarray:
@@ -57,6 +62,10 @@ class LookupDecoder:
 
     def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
         syndromes = np.asarray(syndromes, dtype=np.uint8)
+        if syndromes.shape[0] == 0:
+            return np.zeros(
+                (0, self.n_observables), dtype=np.uint8
+            )
         return np.stack([self.decode(row) for row in syndromes])
 
     @property

@@ -13,6 +13,10 @@ observable mask.  Decoding a syndrome:
    weights);
 4. XOR the observable masks along each matched path — that is the
    predicted logical correction.
+
+:func:`build_decoding_graph` is shared with
+:class:`~repro.decoders.compiled.CompiledMatchingDecoder`, which lowers
+the same graph into flat arrays once instead of path-finding per shot.
 """
 
 from __future__ import annotations
@@ -24,41 +28,94 @@ import numpy as np
 
 from repro.dem.model import DetectorErrorModel
 
-_BOUNDARY = "boundary"
+BOUNDARY = "boundary"
+_P_CLAMP = 1e-15
+
+
+def edge_weight(probability: float) -> float:
+    """MWPM edge weight ``-log p/(1-p)`` with the probability clamped
+    away from {0, 1} so the weight stays finite."""
+    p = min(max(probability, _P_CLAMP), 1 - _P_CLAMP)
+    return -math.log(p / (1 - p))
+
+
+def dedupe_rows(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique rows of a (shots, n) uint8 array plus the flat inverse.
+
+    Identical syndromes decode identically, so batch decoders decode
+    each unique row once and gather.  NumPy 2.0 returned a (shots, 1)
+    inverse for ``axis=0``; the flatten makes the gather work on every
+    supported NumPy.
+    """
+    unique, inverse = np.unique(rows, axis=0, return_inverse=True)
+    return unique, np.asarray(inverse).reshape(-1)
+
+
+def build_decoding_graph(dem: DetectorErrorModel) -> nx.Graph:
+    """Lower a DEM's graphlike mechanisms into the decoding graph.
+
+    Nodes are detector indices plus the virtual :data:`BOUNDARY`; each
+    edge carries ``probability``, ``weight`` and observable ``mask``.
+
+    Parallel mechanisms on the same detector pair:
+
+    * identical observable masks — physically the two faults are
+      indistinguishable and independent, so their probabilities
+      XOR-convolve: ``p = p1 (1 - p2) + p2 (1 - p1)`` (either fires,
+      not both — both firing cancels on every detector and observable);
+    * different masks — a single edge cannot carry both corrections, so
+      the lighter (more likely) edge is kept.  This is an approximation:
+      the dropped mechanism's probability mass is ignored rather than
+      folded in, which slightly overweights the surviving edge.  Exact
+      handling would need a multigraph-aware matcher.
+    """
+    graph = nx.Graph()
+    graph.add_node(BOUNDARY)
+    graph.add_nodes_from(range(dem.n_detectors))
+
+    for mechanism in dem.filter_graphlike().mechanisms:
+        if not mechanism.detectors:
+            # Undetectable fault (logical or invisible): no edge can
+            # represent it; matching decoders simply cannot correct it.
+            continue
+        p = mechanism.probability
+        if len(mechanism.detectors) == 1:
+            u, v = mechanism.detectors[0], BOUNDARY
+        else:
+            u, v = mechanism.detectors
+        mask = _observable_mask(mechanism.observables, dem.n_observables)
+        if graph.has_edge(u, v):
+            edge = graph[u][v]
+            if np.array_equal(edge["mask"], mask):
+                q = edge["probability"]
+                merged = p * (1 - q) + q * (1 - p)
+                edge.update(
+                    probability=merged, weight=edge_weight(merged)
+                )
+            elif edge_weight(p) < edge["weight"]:
+                edge.update(
+                    probability=p, weight=edge_weight(p), mask=mask
+                )
+        else:
+            graph.add_edge(
+                u, v, probability=p, weight=edge_weight(p), mask=mask
+            )
+    return graph
 
 
 class MatchingDecoder:
-    """MWPM decoder compiled from a graphlike DetectorErrorModel."""
+    """MWPM decoder compiled from a graphlike DetectorErrorModel.
+
+    Path-finds per decoded syndrome (with a shortest-path cache); the
+    batched :class:`~repro.decoders.compiled.CompiledMatchingDecoder`
+    precomputes every distance at compile time instead and is the one to
+    use for large batches.
+    """
 
     def __init__(self, dem: DetectorErrorModel):
-        graphlike = dem.filter_graphlike()
         self.n_detectors = dem.n_detectors
         self.n_observables = dem.n_observables
-        self.graph = nx.Graph()
-        self.graph.add_node(_BOUNDARY)
-        self.graph.add_nodes_from(range(dem.n_detectors))
-
-        for mechanism in graphlike.mechanisms:
-            if not mechanism.detectors and not mechanism.observables:
-                continue
-            if not mechanism.detectors:
-                # Undetectable logical fault: no edge can represent it;
-                # matching decoders simply cannot correct it.
-                continue
-            p = min(max(mechanism.probability, 1e-15), 1 - 1e-15)
-            weight = -math.log(p / (1 - p))
-            if len(mechanism.detectors) == 1:
-                u, v = mechanism.detectors[0], _BOUNDARY
-            else:
-                u, v = mechanism.detectors
-            mask = _observable_mask(mechanism.observables, self.n_observables)
-            if self.graph.has_edge(u, v):
-                # Keep the lighter (more likely) of parallel edges.
-                if weight < self.graph[u][v]["weight"]:
-                    self.graph[u][v].update(weight=weight, mask=mask)
-            else:
-                self.graph.add_edge(u, v, weight=weight, mask=mask)
-
+        self.graph = build_decoding_graph(dem)
         self._path_cache: dict = {}
 
     # -- decoding -----------------------------------------------------------
@@ -71,7 +128,7 @@ class MatchingDecoder:
             return prediction
         nodes = list(defects)
         if len(nodes) % 2 == 1:
-            nodes.append(_BOUNDARY)
+            nodes.append(BOUNDARY)
 
         complete = nx.Graph()
         pair_paths = {}
@@ -98,8 +155,9 @@ class MatchingDecoder:
         out = np.zeros(
             (syndromes.shape[0], self.n_observables), dtype=np.uint8
         )
-        # Identical syndromes decode identically — dedupe for speed.
-        unique, inverse = np.unique(syndromes, axis=0, return_inverse=True)
+        if syndromes.shape[0] == 0:
+            return out
+        unique, inverse = dedupe_rows(syndromes)
         decoded = np.stack([self.decode(row) for row in unique])
         out[:] = decoded[inverse]
         return out

@@ -1,0 +1,137 @@
+"""Name-keyed registry of syndrome decoders.
+
+The mirror of :mod:`repro.backends` for the decoding side of the
+pipeline: the engine workers, the experiment harness, the CLI and the
+examples all resolve decoders through this registry, so adding a decoder
+(say, a union-find or belief-propagation decoder) is one
+:func:`register_decoder` call, not a code fork across five layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.dem.model import DetectorErrorModel
+
+
+@runtime_checkable
+class SyndromeDecoder(Protocol):
+    """What every compiled decoder must answer."""
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Predicted observable flips: uint8 array of shape (n_obs,)."""
+        ...
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Predictions for a (shots, n_detectors) batch of syndromes:
+        uint8 array of shape (shots, n_observables)."""
+        ...
+
+
+@dataclass(frozen=True)
+class DecoderInfo:
+    """Static capability description of one decoder.
+
+    ``graphlike_only`` — the decoder silently restricts the DEM to its
+    graphlike mechanisms (the standard MWPM practice); hyperedge
+    probability mass is not corrected for.
+
+    ``batched`` — ``decode_batch`` is vectorized across shots rather
+    than a Python loop over ``decode``.
+
+    ``exact`` — maximum-likelihood over the mechanisms it enumerates
+    (the lookup table), as opposed to the matching approximation.
+
+    ``compile_once`` — construction does all path-finding/enumeration
+    up front; decoding afterwards never re-analyzes the DEM.
+    """
+
+    name: str
+    description: str
+    graphlike_only: bool = False
+    batched: bool = False
+    exact: bool = False
+    compile_once: bool = True
+
+
+@dataclass(frozen=True)
+class RegisteredDecoder:
+    """A registered decoder: capability info plus its compile entry."""
+
+    info: DecoderInfo
+    factory: Callable[[DetectorErrorModel], SyndromeDecoder]
+
+    def compile(self, dem: DetectorErrorModel) -> SyndromeDecoder:
+        """Run this decoder's one-time analysis; returns the decoder."""
+        return self.factory(dem)
+
+
+_REGISTRY: dict[str, RegisteredDecoder] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_decoder(
+    info: DecoderInfo,
+    factory: Callable[[DetectorErrorModel], SyndromeDecoder],
+    aliases: Iterable[str] = (),
+) -> RegisteredDecoder:
+    """Register a decoder under ``info.name`` (plus optional aliases).
+
+    Re-registering a name replaces it (tests swap in instrumented
+    decoders); aliases may not shadow a canonical name.
+    """
+    aliases = tuple(aliases)
+    if _ALIASES.get(info.name, info.name) != info.name:
+        raise ValueError(
+            f"name {info.name!r} is already an alias for "
+            f"{_ALIASES[info.name]!r}"
+        )
+    for alias in aliases:
+        if alias in _REGISTRY:
+            raise ValueError(f"alias {alias!r} shadows a registered decoder")
+        if _ALIASES.get(alias, info.name) != info.name:
+            raise ValueError(
+                f"alias {alias!r} already points to {_ALIASES[alias]!r}"
+            )
+    decoder = RegisteredDecoder(info=info, factory=factory)
+    _REGISTRY[info.name] = decoder
+    for alias in aliases:
+        _ALIASES[alias] = info.name
+    return decoder
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a decoder name or alias to its canonical name.
+
+    Raises ``KeyError`` naming the known decoders on an unknown name.
+    """
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise KeyError(f"unknown decoder {name!r} (known: {known})")
+    return resolved
+
+
+def get_decoder(name: str) -> RegisteredDecoder:
+    """Look up a decoder by canonical name or alias."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def available_decoders() -> tuple[str, ...]:
+    """Sorted canonical names of every registered decoder."""
+    return tuple(sorted(_REGISTRY))
+
+
+def decoder_choices() -> tuple[str, ...]:
+    """Canonical names plus aliases (for CLI ``choices=``)."""
+    return tuple(sorted(set(_REGISTRY) | set(_ALIASES)))
+
+
+def compile_decoder(
+    dem: DetectorErrorModel, decoder: str = "matching"
+) -> SyndromeDecoder:
+    """Compile ``dem`` with the named decoder; returns the decoder."""
+    return get_decoder(decoder).compile(dem)

@@ -14,6 +14,7 @@ from repro.gf2 import bitops
 def extract_dem(
     source: Circuit | CompiledSampler,
     min_probability: float = 0.0,
+    merge: bool = True,
 ) -> DetectorErrorModel:
     """Build the detector error model of a noisy circuit.
 
@@ -22,6 +23,16 @@ def extract_dem(
     pattern's symbol columns in the detector matrix — read directly off
     the compiled sampler, no simulation.  Patterns with probability at or
     below ``min_probability`` are dropped.
+
+    Distinct fault patterns frequently share one (detectors,
+    observables) signature — e.g. the X and Y legs of a depolarizing
+    site, or a final-round data flip and the measurement flip it
+    shadows.  With ``merge`` (the default) such duplicates are collapsed
+    via :meth:`DetectorErrorModel.merged` so each signature carries its
+    true combined flip probability; emitting them as independent entries
+    would skew every downstream decoder's edge weights.  Pass
+    ``merge=False`` for the raw per-pattern, per-noise-site view (one
+    group per site; exact joint sampling).
     """
     if isinstance(source, Circuit):
         sampler = CompiledSampler(SymPhaseSimulator.from_circuit(source))
@@ -56,4 +67,4 @@ def extract_dem(
             )
         if mechanisms:
             dem.add_group(mechanisms)
-    return dem
+    return dem.merged() if merge else dem

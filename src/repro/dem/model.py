@@ -95,7 +95,65 @@ class DetectorErrorModel:
                     observables[hit, o] ^= 1
         return detectors, observables
 
+    # -- decoding ------------------------------------------------------
+
+    def compile_decoder(self, decoder: str = "matching"):
+        """Compile a registered decoder for this DEM by name.
+
+        ``decoder`` is any :mod:`repro.decoders.registry` name or alias
+        (``"matching"``, ``"compiled-matching"``, ``"lookup"``, ...).
+        """
+        # Import the package, not just the registry module, so the
+        # built-in decoder registrations have run.
+        from repro.decoders import compile_decoder
+
+        return compile_decoder(self, decoder)
+
     # -- analysis --------------------------------------------------------
+
+    def merged(self) -> "DetectorErrorModel":
+        """Collapse mechanisms with identical (detectors, observables).
+
+        Duplicate signatures *within* a group are mutually exclusive
+        patterns of one noise site, so their probabilities add;
+        duplicates *across* groups are independent faults whose combined
+        effect is the XOR of two coin flips, so their probabilities
+        convolve: ``p = p1 (1 - p2) + p2 (1 - p1)`` (both firing cancels
+        on every detector and observable).
+
+        Emitting duplicates unmerged skews every downstream decoder —
+        MWPM would see two parallel edges, each underweighting the true
+        flip probability.  The merged model carries each signature once,
+        as its own singleton group; exact for the per-signature marginal
+        flip probabilities (the quantity decoders consume), while the
+        joint exclusivity between *different* signatures of a shared
+        group is approximated as independence.
+        """
+        combined: dict[
+            tuple[tuple[int, ...], tuple[int, ...]], float
+        ] = {}
+        for group in self.groups:
+            within: dict[
+                tuple[tuple[int, ...], tuple[int, ...]], float
+            ] = {}
+            for index in group:
+                mech = self.mechanisms[index]
+                signature = (mech.detectors, mech.observables)
+                within[signature] = (
+                    within.get(signature, 0.0) + mech.probability
+                )
+            for signature, p in within.items():
+                if signature in combined:
+                    q = combined[signature]
+                    combined[signature] = p * (1 - q) + q * (1 - p)
+                else:
+                    combined[signature] = p
+        out = DetectorErrorModel(self.n_detectors, self.n_observables)
+        for (detectors, observables), p in combined.items():
+            out.add_group(
+                [ErrorMechanism(p, detectors, observables)]
+            )
+        return out
 
     def detector_error_rates(self) -> np.ndarray:
         """First-order marginal fire probability per detector (exact under

@@ -95,16 +95,16 @@ def _build_sampler(spec: ChunkSpec, circuit):
 
 
 def _build_decoder(spec: ChunkSpec, circuit):
-    from repro.decoders import LookupDecoder, MatchingDecoder
+    from repro.decoders import compile_decoder
     from repro.dem import extract_dem
 
     cache = shared_cache()
     dem = cache.get_or_build(
         ("dem", spec.fingerprint), lambda: extract_dem(circuit)
     )
-    if spec.decoder == "matching":
-        return MatchingDecoder(dem)
-    return LookupDecoder(dem)
+    # spec.decoder is already canonical (Task resolves aliases), so one
+    # compiled decoder per (circuit, decoder) serves every alias.
+    return compile_decoder(dem, spec.decoder)
 
 
 def run_chunk(spec: ChunkSpec) -> ChunkResult:

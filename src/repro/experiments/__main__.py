@@ -29,6 +29,11 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="engine worker processes for the threshold experiment",
     )
+    parser.add_argument(
+        "--decoder", default="compiled-matching",
+        help="registry decoder for the threshold experiment "
+             "(see `python -m repro decoders`)",
+    )
     args = parser.parse_args(argv)
 
     sizes = None
@@ -46,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "threshold":
         harness.run_threshold(
             shots=args.shots, seed=args.seed, workers=args.workers,
+            decoder=args.decoder,
         )
     elif args.experiment == "all":
         for variant in ("fig3a", "fig3b", "fig3c"):
@@ -55,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         harness.run_sparse(shots=args.shots, seed=args.seed)
         harness.run_threshold(
             shots=args.shots, seed=args.seed, workers=args.workers,
+            decoder=args.decoder,
         )
     return 0
 

@@ -253,6 +253,7 @@ def run_threshold(
     seed: int = 0,
     workers: int = 1,
     store_path: str | None = None,
+    decoder: str = "compiled-matching",
 ) -> list[dict]:
     """Repetition-code threshold sweep on the collection engine.
 
@@ -261,6 +262,11 @@ def run_threshold(
     derived-seed chunks (optionally across ``workers`` processes) and
     aggregates Wilson-interval logical error rates.  Counts are
     independent of ``workers``.
+
+    ``decoder`` is any registered :mod:`repro.decoders` name; the
+    default batched compiled matcher keeps decoding off the sweep's
+    critical path (its predictions are bitwise identical to
+    ``"matching"``, so the estimated rates are too).
     """
     from repro.engine import Task, collect
     from repro.qec import repetition_code_memory
@@ -274,7 +280,7 @@ def run_threshold(
                 data_flip_probability=p,
                 measure_flip_probability=p,
             ),
-            decoder="matching",
+            decoder=decoder,
             max_shots=shots,
             metadata={"distance": d, "p": p, "rounds": rounds},
         )
@@ -287,7 +293,7 @@ def run_threshold(
     rows = [s.to_row() for s in stats]
 
     print(f"\n== threshold: repetition code, {shots} shots/point, "
-          f"workers={workers} ==")
+          f"decoder={tasks[0].decoder}, workers={workers} ==")
     print(format_table(
         ["d", "p", "shots", "errors", "LER", "wilson low", "wilson high"],
         [[r["metadata"]["distance"], r["metadata"]["p"], r["shots"],

@@ -7,11 +7,14 @@ model machinery to turn clean circuits into circuit-level-noise ones.
 
 from repro.qec.repetition import repetition_code_memory
 from repro.qec.surface import surface_code_memory
+from repro.qec.dems import repetition_code_dem, surface_code_dem
 from repro.qec.noise_models import NoiseModel, with_noise
 
 __all__ = [
     "NoiseModel",
+    "repetition_code_dem",
     "repetition_code_memory",
+    "surface_code_dem",
     "surface_code_memory",
     "with_noise",
 ]

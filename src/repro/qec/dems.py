@@ -1,0 +1,52 @@
+"""One-call detector error models for the standard QEC workloads.
+
+Thin conveniences over ``extract_dem(<memory circuit>)`` so decoder
+tests and benchmarks can ask for "the d=7 surface-code DEM" without
+restating the noise-model plumbing every time.
+"""
+
+from __future__ import annotations
+
+from repro.dem.extract import extract_dem
+from repro.dem.model import DetectorErrorModel
+from repro.qec.repetition import repetition_code_memory
+from repro.qec.surface import surface_code_memory
+
+
+def repetition_code_dem(
+    distance: int,
+    rounds: int,
+    probability: float,
+    merge: bool = True,
+) -> DetectorErrorModel:
+    """DEM of a repetition-code memory with symmetric data/measure
+    flip probability ``probability``."""
+    return extract_dem(
+        repetition_code_memory(
+            distance,
+            rounds=rounds,
+            data_flip_probability=probability,
+            measure_flip_probability=probability,
+        ),
+        merge=merge,
+    )
+
+
+def surface_code_dem(
+    distance: int,
+    rounds: int,
+    probability: float,
+    merge: bool = True,
+) -> DetectorErrorModel:
+    """DEM of a rotated surface-code memory under circuit-level noise
+    (DEPOLARIZE2 after every CX plus measurement flips, both at
+    ``probability``)."""
+    return extract_dem(
+        surface_code_memory(
+            distance,
+            rounds=rounds,
+            after_clifford_depolarization=probability,
+            before_measure_flip_probability=probability,
+        ),
+        merge=merge,
+    )

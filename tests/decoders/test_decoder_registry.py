@@ -1,0 +1,95 @@
+"""The decoder registry: resolution, capabilities, wiring."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import (
+    CompiledMatchingDecoder,
+    DecoderInfo,
+    LookupDecoder,
+    MatchingDecoder,
+    available_decoders,
+    canonical_name,
+    compile_decoder,
+    decoder_choices,
+    get_decoder,
+    register_decoder,
+)
+from repro.decoders.registry import SyndromeDecoder
+from repro.dem import DetectorErrorModel, ErrorMechanism
+
+
+def line_dem() -> DetectorErrorModel:
+    dem = DetectorErrorModel(n_detectors=2, n_observables=1)
+    dem.add_group([ErrorMechanism(0.1, (0,), (0,))])
+    dem.add_group([ErrorMechanism(0.1, (0, 1), ())])
+    dem.add_group([ErrorMechanism(0.1, (1,), ())])
+    return dem
+
+
+class TestResolution:
+    def test_builtins_registered(self):
+        assert {"matching", "compiled-matching", "lookup"} <= set(
+            available_decoders()
+        )
+
+    def test_aliases_resolve(self):
+        assert canonical_name("mwpm") == "matching"
+        assert canonical_name("cmwpm") == "compiled-matching"
+        assert canonical_name("batch-matching") == "compiled-matching"
+        assert canonical_name("table") == "lookup"
+
+    def test_choices_include_aliases(self):
+        choices = decoder_choices()
+        assert "mwpm" in choices and "compiled-matching" in choices
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="compiled-matching"):
+            canonical_name("union-find")
+
+    def test_compile_by_name(self):
+        dem = line_dem()
+        assert isinstance(compile_decoder(dem, "matching"), MatchingDecoder)
+        assert isinstance(
+            compile_decoder(dem, "cmwpm"), CompiledMatchingDecoder
+        )
+        assert isinstance(compile_decoder(dem, "lookup"), LookupDecoder)
+
+    def test_dem_compile_decoder_method(self):
+        decoder = line_dem().compile_decoder("compiled-matching")
+        assert isinstance(decoder, CompiledMatchingDecoder)
+        assert isinstance(decoder, SyndromeDecoder)
+
+
+class TestCapabilities:
+    def test_matching_flags(self):
+        info = get_decoder("matching").info
+        assert info.graphlike_only and not info.batched and not info.exact
+
+    def test_compiled_matching_flags(self):
+        info = get_decoder("compiled-matching").info
+        assert info.graphlike_only and info.batched and info.compile_once
+
+    def test_lookup_flags(self):
+        info = get_decoder("lookup").info
+        assert info.exact and not info.graphlike_only
+
+
+class TestRegistration:
+    def test_alias_may_not_shadow_canonical(self):
+        with pytest.raises(ValueError, match="shadows"):
+            register_decoder(
+                DecoderInfo(name="throwaway", description=""),
+                MatchingDecoder,
+                aliases=("matching",),
+            )
+
+    def test_every_registered_decoder_decodes(self):
+        dem = line_dem()
+        syndrome = np.array([1, 0], dtype=np.uint8)
+        for name in available_decoders():
+            decoder = compile_decoder(dem, name)
+            single = decoder.decode(syndrome)
+            assert single.shape == (dem.n_observables,)
+            batch = decoder.decode_batch(syndrome[None, :])
+            assert np.array_equal(batch[0], single)

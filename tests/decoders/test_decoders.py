@@ -1,6 +1,7 @@
 """Tests for the matching and lookup decoders."""
 
 import numpy as np
+import pytest
 
 from repro.decoders import LookupDecoder, MatchingDecoder, logical_error_rate
 from repro.dem import DetectorErrorModel, ErrorMechanism, extract_dem
@@ -81,6 +82,49 @@ class TestLookupDecoder:
         )
         # MAP and MWPM may differ on rare degenerate syndromes only.
         assert agreements >= 290
+
+    def test_map_score_uses_log_odds(self):
+        """Regression: sum-log-p and sum-log-odds rank these fault sets
+        differently, and only log-odds is the true MAP ranking.
+
+        Syndrome (D0, D1) is explained by mechanism a (p=0.4, no flip)
+        or by {b, c} (p=0.49 each, flips L0).  Raw likelihoods favor a
+        (log 0.4 > log 0.49 + log 0.49) but the posterior odds favor
+        {b, c}: logit(0.49) + logit(0.49) = -0.08 > logit(0.4) = -0.41.
+        """
+        dem = DetectorErrorModel(n_detectors=2, n_observables=1)
+        dem.add_group([ErrorMechanism(0.4, (0, 1), ())])       # a
+        dem.add_group([ErrorMechanism(0.49, (0,), (0,))])      # b
+        dem.add_group([ErrorMechanism(0.49, (1,), ())])        # c
+        decoder = LookupDecoder(dem, max_weight=2)
+        assert decoder.decode(np.array([1, 1])).tolist() == [1]
+
+    @pytest.mark.parametrize(
+        "p,min_agree", [(0.01, 298), (0.05, 293), (0.12, 283)]
+    )
+    def test_agrees_with_matching_across_p(self, p, min_agree):
+        """MWPM minimizes the same sum-of-log-odds objective the fixed
+        lookup score maximizes, so they agree except on degenerate
+        syndromes and (at high p) syndromes beyond the enumeration cap.
+        """
+        circuit = repetition_code_memory(
+            3, 2, data_flip_probability=p, measure_flip_probability=p
+        )
+        dem = extract_dem(circuit)
+        lookup = LookupDecoder(dem, max_weight=3)
+        matching = MatchingDecoder(dem)
+        det, _ = dem.sample(300, np.random.default_rng(int(p * 1000)))
+        agreements = sum(
+            np.array_equal(lookup.decode(s), matching.decode(s))
+            for s in det
+        )
+        assert agreements >= min_agree
+
+    def test_zero_shot_batch(self):
+        decoder = LookupDecoder(tiny_dem())
+        out = decoder.decode_batch(np.zeros((0, 3), dtype=np.uint8))
+        assert out.shape == (0, 1)
+        assert out.dtype == np.uint8
 
     def test_table_size_grows_with_weight(self):
         dem = extract_dem(repetition_code_memory(

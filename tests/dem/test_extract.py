@@ -31,14 +31,48 @@ class TestSmallCircuits:
         dem = extract_dem(c)
         assert dem.mechanisms[0].observables == (0,)
 
-    def test_depolarize_gives_three_mechanisms(self):
+    def test_depolarize_merges_indistinguishable_patterns(self):
         c = Circuit().depolarize1(0.3, 0).mr(0).detector(-1)
         dem = extract_dem(c)
+        # X and Y both flip the detector — indistinguishable, so they
+        # merge (mutually exclusive within the site: probabilities add);
+        # the invisible Z pattern stays separate.
+        assert len(dem.mechanisms) == 2
+        probs = sorted(m.probability for m in dem.mechanisms)
+        assert np.allclose(probs, [0.1, 0.2])
+
+    def test_depolarize_unmerged_gives_three_mechanisms(self):
+        c = Circuit().depolarize1(0.3, 0).mr(0).detector(-1)
+        dem = extract_dem(c, merge=False)
         # X, Z, Y patterns of one group; all in one exclusive group.
         assert len(dem.mechanisms) == 3
         assert len(dem.groups) == 1
         probs = sorted(m.probability for m in dem.mechanisms)
         assert np.allclose(probs, [0.1, 0.1, 0.1])
+
+    def test_independent_duplicates_xor_convolve(self):
+        # Two independent X_ERROR sites with the same signature: the
+        # merged probability is P(exactly one fires).
+        c = Circuit().x_error(0.1, 0).x_error(0.2, 0).mr(0).detector(-1)
+        dem = extract_dem(c)
+        assert len(dem.mechanisms) == 1
+        expected = 0.1 * 0.8 + 0.2 * 0.9
+        assert dem.mechanisms[0].probability == pytest.approx(expected)
+
+    def test_merged_helper_is_idempotent_and_signature_unique(self):
+        c = Circuit().depolarize1(0.3, 0).x_error(0.1, 0).mr(0).detector(-1)
+        dem = extract_dem(c, merge=False)
+        merged = dem.merged()
+        signatures = [(m.detectors, m.observables) for m in merged.mechanisms]
+        assert len(signatures) == len(set(signatures))
+        again = merged.merged()
+        assert [
+            (m.probability, m.detectors, m.observables)
+            for m in again.mechanisms
+        ] == [
+            (m.probability, m.detectors, m.observables)
+            for m in merged.mechanisms
+        ]
 
     def test_invisible_fault_has_empty_signature(self):
         c = Circuit().z_error(0.2, 0).mr(0).detector(-1)
@@ -75,15 +109,21 @@ class TestQecDems:
 
     def test_surface_dem_mechanism_count(self):
         c = surface_code_memory(3, 2, after_clifford_depolarization=0.001)
-        dem = extract_dem(c)
+        raw = extract_dem(c, merge=False)
         # One group per DEPOLARIZE2 site, 15 patterns each.
         sites = sum(
             len(i.targets) // 2
             for i in c.flattened()
             if i.name == "DEPOLARIZE2"
         )
-        assert len(dem.groups) == sites
-        assert len(dem.mechanisms) == 15 * sites
+        assert len(raw.groups) == sites
+        assert len(raw.mechanisms) == 15 * sites
+        # The merged default collapses indistinguishable patterns: far
+        # fewer mechanisms, every signature unique.
+        merged = extract_dem(c)
+        assert len(merged.mechanisms) < len(raw.mechanisms)
+        signatures = [(m.detectors, m.observables) for m in merged.mechanisms]
+        assert len(signatures) == len(set(signatures))
 
     def test_filter_graphlike(self):
         c = surface_code_memory(3, 2, after_clifford_depolarization=0.01)

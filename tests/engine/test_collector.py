@@ -190,6 +190,31 @@ class TestCacheIntegration:
         finally:
             reset_shared_cache()
 
+    def test_compiled_decoder_counts_match_reference(self):
+        """Same seed + same sampler => same syndromes; the compiled
+        matcher's bitwise-identical predictions must therefore yield
+        bitwise-identical error counts through the whole engine."""
+        circuit = repetition_code_memory(
+            3, rounds=2,
+            data_flip_probability=0.08, measure_flip_probability=0.08,
+        )
+        counts = {}
+        for decoder in ("matching", "compiled-matching"):
+            stats = collect(
+                [Task(circuit, decoder=decoder, max_shots=2_000)],
+                base_seed=SEED, chunk_shots=500,
+            )[0]
+            counts[decoder] = (stats.shots, stats.errors)
+        assert counts["matching"] == counts["compiled-matching"]
+
+    def test_decoder_alias_resolves_to_canonical_task(self):
+        task = Task(repetition_code_memory(3, 2), decoder="cmwpm")
+        assert task.decoder == "compiled-matching"
+        canonical = Task(
+            repetition_code_memory(3, 2), decoder="compiled-matching"
+        )
+        assert task.strong_id() == canonical.strong_id()
+
     def test_decoder_none_counts_raw_observable_flips(self):
         task = Task(
             repetition_code_memory(

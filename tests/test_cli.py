@@ -71,6 +71,61 @@ class TestStats:
         assert "detectors:     1" in out
 
 
+class TestDecoders:
+    def test_lists_registered_decoders_with_flags(self, capsys):
+        assert main(["decoders"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled-matching" in out
+        assert "matching" in out
+        assert "lookup" in out
+        assert "batched" in out
+        assert "exact" in out
+
+
+class TestDecode:
+    def test_decode_reports_rate(self, circuit_file, capsys):
+        assert main([
+            "decode", circuit_file, "--shots", "400",
+            "--decoder", "compiled-matching", "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "logical err rate" in out
+        assert "shots:            400" in out
+        assert "decoder:          compiled-matching" in out
+
+    def test_decode_alias_resolves(self, circuit_file, capsys):
+        assert main([
+            "decode", circuit_file, "--shots", "200", "--decoder", "mwpm",
+        ]) == 0
+        assert "decoder:          matching" in capsys.readouterr().out
+
+    def test_decode_counts_independent_of_workers(self, circuit_file, capsys):
+        args = ["decode", circuit_file, "--shots", "600",
+                "--chunk-shots", "200", "--seed", "5"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        pick = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if line.startswith(("shots", "logical errors"))
+        ]
+        assert pick(serial) == pick(pooled)
+
+    def test_decoder_matching_and_compiled_agree(self, circuit_file, capsys):
+        outputs = []
+        for decoder in ("matching", "compiled-matching"):
+            assert main([
+                "decode", circuit_file, "--shots", "500",
+                "--decoder", decoder, "--seed", "3",
+            ]) == 0
+            outputs.append([
+                line for line in capsys.readouterr().out.splitlines()
+                if line.startswith("logical errors")
+            ])
+        assert outputs[0] == outputs[1]
+
+
 class TestCollect:
     ARGS = [
         "collect", "--code", "repetition", "--distances", "3",
