@@ -13,7 +13,7 @@ Run:  PYTHONPATH=src python -m pytest benchmarks/bench_engine.py
 
 import pytest
 
-from repro.engine import ChunkRunner, Task, plan_chunks, run_chunk
+from repro.engine import ChunkRunner, plan_chunks, run_chunk
 from repro.qec import repetition_code_memory
 
 SHOTS = 16_000
@@ -23,14 +23,12 @@ SEED = 0
 
 @pytest.fixture(scope="module")
 def chunk_specs():
-    circuit = repetition_code_memory(
+    task = repetition_code_memory(
         7, rounds=7,
         data_flip_probability=0.02,
         measure_flip_probability=0.02,
-    )
-    task = Task(
-        circuit, decoder="matching", max_shots=SHOTS,
-        metadata={"d": 7, "p": 0.02},
+    ).compile(decoder="matching").task(
+        max_shots=SHOTS, metadata={"d": 7, "p": 0.02},
     )
     specs = plan_chunks(task, SEED, CHUNK_SHOTS)
     # Warm the in-process cache so the serial bench times sampling +

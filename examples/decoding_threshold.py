@@ -1,5 +1,6 @@
 """Closing the loop the paper motivates: sample millions of syndromes
-fast, decode them, estimate logical error rates.
+fast, decode them, estimate logical error rates — and read the
+threshold off the curves.
 
 The detector error model is extracted straight from the symbolic phases
 (no Monte-Carlo probing), then decoded with minimum-weight perfect
@@ -7,82 +8,86 @@ matching.  The repetition-code sweep exhibits the textbook threshold
 behaviour: below threshold, higher distance exponentially suppresses the
 logical error rate; above it, higher distance hurts.
 
-Both sweeps run through :mod:`repro.engine` — each (distance, p) point
-is a declarative Task, the engine compiles each circuit once, chunks the
-shot budget with derived per-chunk seeds, and reports Wilson-interval
-logical error rates.  Set ``WORKERS`` > 1 to fan chunks out across
-processes; the counts are bitwise identical either way.
+Both sweeps are declarative :class:`repro.study.Sweep` grids — each
+(distance, p) point becomes an engine task, the engine compiles each
+circuit once, chunks the shot budget with derived per-chunk seeds, and
+reports Wilson-interval logical error rates.  Set ``--workers`` > 1 to
+fan chunks out across processes; the counts are bitwise identical
+either way.  ``SweepResult.threshold_estimate()`` then locates where
+the lowest- and highest-distance curves cross.
 
-Decoders are picked by registry name, exactly like sampler backends:
-``decoder="compiled-matching"`` is MWPM lowered once into flat arrays
-(all-pairs shortest paths precomputed), whose predictions are bitwise
-identical to the per-shot ``"matching"`` reference — so swapping one
-for the other changes wall time, never the counts.
-
-Run:  python examples/decoding_threshold.py
+Run:  python examples/decoding_threshold.py [--fast] [--workers N]
 """
 
-from repro.engine import Task, collect
-from repro.qec import repetition_code_memory, surface_code_memory
+import argparse
 
-SHOTS = 4000
-SEED = 0
-WORKERS = 1  # any value yields the same counts (derived chunk seeds)
+from repro.study import ExecutionOptions, Sweep
 
-rep_tasks = [
-    Task(
-        repetition_code_memory(
-            d, rounds=3,
-            data_flip_probability=p,
-            measure_flip_probability=p,
-        ),
-        decoder="compiled-matching",
-        max_shots=SHOTS,
-        metadata={"d": d, "p": p},
-    )
-    for p in (0.02, 0.05, 0.10, 0.20, 0.35)
-    for d in (3, 5, 7)
-]
-rep_stats = collect(rep_tasks, base_seed=SEED, workers=WORKERS)
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument(
+    "--fast", action="store_true",
+    help="CI-sized budgets (fewer shots per point)",
+)
+parser.add_argument("--workers", type=int, default=1)
+parser.add_argument("--seed", type=int, default=0)
+args = parser.parse_args()
+
+SHOTS = 800 if args.fast else 4000
+options = ExecutionOptions(base_seed=args.seed, workers=args.workers)
+
+# ------------------------------------------------- repetition-code sweep --
+REP_PROBABILITIES = (0.02, 0.05, 0.10, 0.20, 0.35)
+REP_DISTANCES = (3, 5, 7)
+rep_result = Sweep(
+    codes="repetition",
+    distances=REP_DISTANCES,
+    probabilities=REP_PROBABILITIES,
+    rounds=3,
+    decoders="compiled-matching",
+    max_shots=SHOTS,
+).collect(options)
+
 rates = {
-    (s.metadata["d"], s.metadata["p"]): s.error_rate for s in rep_stats
+    (s.metadata["distance"], s.metadata["p"]): s.error_rate
+    for s in rep_result
 }
 
 print("repetition code, MWPM decoding, logical error rate")
-print(f"{'p':>7} | " + " ".join(f"{'d=' + str(d):>9}" for d in (3, 5, 7)))
+print(f"{'p':>7} | "
+      + " ".join(f"{'d=' + str(d):>9}" for d in REP_DISTANCES))
 print("-" * 42)
-for p in (0.02, 0.05, 0.10, 0.20, 0.35):
-    row = [rates[(d, p)] for d in (3, 5, 7)]
+for p in REP_PROBABILITIES:
+    row = [rates[(d, p)] for d in REP_DISTANCES]
     marker = "  <- crossover region" if 0.3 < row[0] < 0.6 else ""
     print(f"{p:>7} | " + " ".join(f"{r:>9.4f}" for r in row) + marker)
+
+estimate = rep_result.threshold_estimate()
+if estimate is not None:
+    print(f"\nthreshold estimate (d=3 x d=7 curve crossing): "
+          f"p ~ {estimate:.3f}")
 
 print("""
 Below threshold the columns decrease left to right (distance helps);
 near p ~ 0.35 the ordering inverts — the code stops helping.
 """)
 
+# --------------------------------------------------- surface-code sweep --
 # Tasks select their sampler backend by registry name; the compiled
 # frame program is the batch-throughput workhorse for wide, shallow
-# surface-code rounds (`sampler="symbolic"` wins on deep circuits).
-surface_tasks = [
-    Task(
-        surface_code_memory(
-            3, rounds=3,
-            after_clifford_depolarization=p,
-            before_measure_flip_probability=p,
-        ),
-        decoder="compiled-matching",
-        sampler="frame",
-        max_shots=SHOTS,
-        metadata={"p": p},
-    )
-    for p in (0.001, 0.003, 0.01)
-]
-surface_stats = collect(surface_tasks, base_seed=SEED, workers=WORKERS)
+# surface-code rounds (`samplers="symbolic"` wins on deep circuits).
+surface_result = Sweep(
+    codes="surface",
+    distances=3,
+    probabilities=(0.001, 0.003, 0.01),
+    rounds=3,
+    decoders="compiled-matching",
+    samplers="frame",
+    max_shots=SHOTS,
+).collect(options)
 
 print("surface code d=3, circuit-level depolarizing noise")
 print(f"{'p':>8} {'LER (MWPM)':>11} {'wilson 95% CI':>24}")
-for stats in surface_stats:
+for stats in surface_result:
     low, high = stats.wilson()
     print(f"{stats.metadata['p']:>8} {stats.error_rate:>11.4f} "
           f"[{low:.4f}, {high:.4f}]")

@@ -11,9 +11,7 @@ chain teleporting through several hops in one compiled sampler.
 Run:  python examples/dynamic_circuits.py
 """
 
-import numpy as np
-
-from repro import Circuit, SymPhaseSimulator, CompiledSampler
+from repro import Circuit, SymPhaseSimulator
 from repro.circuit import RecTarget
 
 # ------------------------------------------------------------ teleport --
@@ -40,7 +38,7 @@ print("teleportation — symbolic measurement expressions:")
 for k in range(sim.num_measurements):
     print(f"  m{k} = {sim.measurement_expression(k)}")
 
-records = CompiledSampler(sim).sample(5000, np.random.default_rng(0))
+records = teleport.compile().sample(5000, 0)
 print(f"\nBell outcomes uniform:   {records[:, 0].mean():.3f}, "
       f"{records[:, 1].mean():.3f}")
 print(f"teleported |-> reads 1:  {records[:, 2].mean():.3f}  (exact)")
@@ -66,9 +64,7 @@ for hop in range(hops):
 end = 2 * hops + 1
 chain.m(0, end)
 
-records = CompiledSampler(
-    SymPhaseSimulator.from_circuit(chain)
-).sample(5000, np.random.default_rng(1))
+records = chain.compile().sample(5000, 1)
 anchor, far = records[:, -2], records[:, -1]
 print(f"\nentanglement swapping over {hops} stations "
       f"({chain.n_qubits} qubits, {chain.num_measurements} measurements):")

@@ -10,8 +10,6 @@ Run:  python examples/qec_memory.py
 
 import numpy as np
 
-from repro.backends import compile_backend
-from repro.core import compile_sampler
 from repro.qec import repetition_code_memory, surface_code_memory
 
 SHOTS = 20_000
@@ -28,8 +26,7 @@ for p in (0.01, 0.03, 0.05, 0.10):
         circuit = repetition_code_memory(
             d, rounds=3, data_flip_probability=p
         )
-        sampler = compile_backend(circuit, "frame")
-        records = sampler.sample(SHOTS, rng)
+        records = circuit.compile(sampler="frame").sample(SHOTS, rng)
         data = records[:, -d:]  # final transversal data readout
         logical = (data.sum(axis=1) > d // 2).astype(np.uint8)
         row.append(logical.mean())
@@ -46,8 +43,9 @@ for d in (3, 5):
         after_clifford_depolarization=0.005,
         before_measure_flip_probability=0.005,
     )
-    sampler = compile_sampler(circuit)
-    detectors, observables = sampler.sample_detectors(SHOTS, rng)
+    compiled = circuit.compile()  # symbolic backend by default
+    sampler = compiled.sampler
+    detectors, observables = compiled.detect(SHOTS, rng)
     print(f"{d:>4} {d:>7} {sampler.symbols.n_symbols:>8} "
           f"{sampler.average_support():>7.1f} "
           f"{sampler.choose_strategy():>9} {detectors.mean():>9.4f}")

@@ -218,6 +218,34 @@ class Circuit:
                 counts["noise_sites"] += n_ops
         return counts
 
+    # -- compilation --------------------------------------------------------
+
+    def compile(
+        self,
+        *,
+        sampler: str = "symbolic",
+        decoder: str = "compiled-matching",
+    ) -> "CompiledCircuit":
+        """Bind this circuit to a sampler backend and a decoder, once.
+
+        Returns a :class:`~repro.study.CompiledCircuit`: one handle
+        whose backend sampler, detector error model and compiled decoder
+        are built lazily on first use and memoized through the engine's
+        fingerprint-keyed cache.  ``sampler`` is any registered
+        :mod:`repro.backends` name, ``decoder`` any registered
+        :mod:`repro.decoders` name (or ``"none"``)::
+
+            compiled = circuit.compile(sampler="frame")
+            detectors, observables = compiled.detect(100_000, seed_or_rng=0)
+            rate = compiled.logical_error_rate(100_000, seed=0)
+
+        Do not mutate the circuit after compiling it (identity is
+        fingerprint-cached).
+        """
+        from repro.study import CompiledCircuit
+
+        return CompiledCircuit(self, sampler=sampler, decoder=decoder)
+
     # -- identity -----------------------------------------------------------
 
     _COSMETIC = frozenset({"TICK", "QUBIT_COORDS", "SHIFT_COORDS"})

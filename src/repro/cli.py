@@ -1,5 +1,9 @@
 """Command-line interface: sample, analyze, inspect, and batch-collect.
 
+Every command is a thin layer over :mod:`repro.study` —
+``Circuit.compile()`` for the single-circuit commands, ``Sweep`` +
+``ExecutionOptions`` for ``collect``.
+
 Usage::
 
     repro sample circuit.stim --shots 1000 [--backend frame|symbolic|...]
@@ -12,19 +16,20 @@ Usage::
     repro stats circuit.stim            # operation counts
     repro collect --code both --distances 3,5 --probabilities 0.01,0.02 \\
         --max-shots 20000 --max-errors 200 --workers 4 --out results.jsonl
+
+``--seed`` defaults to fresh OS entropy on every command; pass an int
+for reproducible (and, with ``--out``, seed-checked resumable) runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
+import warnings
 
 from repro.backends import (
     available_backends,
     backend_choices,
-    compile_backend,
     get_backend,
 )
 from repro.circuit import Circuit
@@ -72,27 +77,81 @@ Decoders compile once per distinct circuit per worker process (the same
 fingerprint-keyed cache the samplers use).
 """
 
+# -- shared argument helpers -------------------------------------------------
+
+_LEGACY_BACKEND_FLAGS = ("--simulator", "--sampler")
+
+
+class _BackendAction(argparse.Action):
+    """Stores the backend choice; warns when a legacy spelling is used."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string in _LEGACY_BACKEND_FLAGS:
+            warnings.warn(
+                f"{option_string} is deprecated; use --backend",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        setattr(namespace, self.dest, values)
+
+
+def add_backend_argument(
+    parser: argparse.ArgumentParser, *, default: str = "symbolic"
+) -> None:
+    """The one ``--backend`` argument every sampling command shares.
+
+    Registers the deprecated ``--simulator``/``--sampler`` aliases too
+    (each emits a :class:`DeprecationWarning` when used).
+    """
+    parser.add_argument(
+        "--backend",
+        *_LEGACY_BACKEND_FLAGS,
+        dest="backend",
+        action=_BackendAction,
+        choices=backend_choices(),
+        default=default,
+        help=(
+            f"sampler backend (default {default}; --simulator/--sampler "
+            f"are deprecated aliases)"
+        ),
+    )
+
+
+def add_seed_argument(parser: argparse.ArgumentParser) -> None:
+    """The one ``--seed`` argument every sampling command shares.
+
+    Defaults to ``None`` — fresh OS entropy per run — on *every*
+    command; pass an int for reproducible, seed-checked resumable runs.
+    """
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "base RNG seed (default: fresh OS entropy each run; set one "
+            "for reproducible, store-resumable results)"
+        ),
+    )
+
 
 def _load(path: str) -> Circuit:
     with open(path) as handle:
         return Circuit.from_text(handle.read())
 
 
+# -- commands ----------------------------------------------------------------
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
-    circuit = _load(args.circuit)
-    rng = np.random.default_rng(args.seed)
-    sampler = compile_backend(circuit, args.backend)
-    records = sampler.sample(args.shots, rng)
-    for row in records:
+    compiled = _load(args.circuit).compile(sampler=args.backend)
+    for row in compiled.sample(args.shots, args.seed):
         print("".join(map(str, row)))
     return 0
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    circuit = _load(args.circuit)
-    rng = np.random.default_rng(args.seed)
-    sampler = compile_backend(circuit, args.backend)
-    detectors, observables = sampler.sample_detectors(args.shots, rng)
+    compiled = _load(args.circuit).compile(sampler=args.backend)
+    detectors, observables = compiled.detect(args.shots, args.seed)
     for det_row, obs_row in zip(detectors, observables):
         suffix = (" " + "".join(map(str, obs_row))) if obs_row.size else ""
         print("".join(map(str, det_row)) + suffix)
@@ -133,31 +192,29 @@ def _cmd_decoders(args: argparse.Namespace) -> int:
 def _cmd_decode(args: argparse.Namespace) -> int:
     """Sample + decode + score one circuit through the engine.
 
-    The whole gadget-evaluation loop the paper's introduction motivates:
-    derived-seed chunks fan out across ``--workers`` processes, each
-    sampling detectors with the chosen backend and decoding them with
-    the registry-resolved decoder.
+    The whole gadget-evaluation loop the paper's introduction motivates,
+    as one ``CompiledCircuit.collect()`` call: derived-seed chunks fan
+    out across ``--workers`` processes, each sampling detectors with the
+    chosen backend and decoding them with the registry-resolved decoder.
     """
-    from repro.engine import Task, collect
+    from repro.study import ExecutionOptions
 
-    circuit = _load(args.circuit)
-    task = Task(
-        circuit,
-        decoder=args.decoder,
-        sampler=args.sampler,
+    compiled = _load(args.circuit).compile(
+        sampler=args.backend, decoder=args.decoder
+    )
+    stats = compiled.collect(
+        ExecutionOptions(
+            base_seed=args.seed,
+            workers=args.workers,
+            chunk_shots=args.chunk_shots,
+        ),
         max_shots=args.shots,
         max_errors=args.max_errors,
     )
-    stats = collect(
-        [task],
-        base_seed=args.seed,
-        workers=args.workers,
-        chunk_shots=args.chunk_shots,
-    )[0]
     low, high = stats.wilson()
     rate = stats.shots / stats.seconds if stats.seconds else float("inf")
-    print(f"decoder:          {task.decoder}")
-    print(f"sampler:          {task.sampler}")
+    print(f"decoder:          {stats.decoder}")
+    print(f"sampler:          {stats.sampler}")
     print(f"shots:            {stats.shots}")
     print(f"logical errors:   {stats.errors}")
     print(f"logical err rate: {stats.error_rate:.6e}")
@@ -199,58 +256,54 @@ def _parse_ints(text: str) -> list[int]:
 
 
 def build_sweep_tasks(args: argparse.Namespace) -> list:
-    """The CLI's standard sweep: (code family x distance x noise) tasks."""
-    from repro.engine import Task
-    from repro.qec import repetition_code_memory, surface_code_memory
+    """Deprecated shim: build the CLI's standard sweep as engine tasks.
 
-    codes = ["repetition", "surface"] if args.code == "both" else [args.code]
-    tasks = []
-    for code in codes:
-        for distance in _parse_ints(args.distances):
-            for p in _parse_floats(args.probabilities):
-                if code == "repetition":
-                    circuit = repetition_code_memory(
-                        distance,
-                        rounds=args.rounds,
-                        data_flip_probability=p,
-                        measure_flip_probability=p,
-                    )
-                else:
-                    circuit = surface_code_memory(
-                        distance,
-                        rounds=args.rounds,
-                        after_clifford_depolarization=p,
-                        before_measure_flip_probability=p,
-                    )
-                tasks.append(
-                    Task(
-                        circuit,
-                        decoder=args.decoder,
-                        sampler=args.sampler,
-                        max_shots=args.max_shots,
-                        max_errors=args.max_errors,
-                        metadata={
-                            "code": code,
-                            "distance": distance,
-                            "p": p,
-                            "rounds": args.rounds,
-                        },
-                    )
-                )
-    return tasks
+    Use :class:`repro.study.Sweep` instead — it produces identical
+    tasks (same ``strong_id``s, so existing result stores still
+    resume).
+    """
+    warnings.warn(
+        "cli.build_sweep_tasks is deprecated; build a repro.study.Sweep "
+        "instead (identical tasks and strong_ids)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _sweep_from_args(args).tasks()
+
+
+def _sweep_from_args(args: argparse.Namespace):
+    """The CLI's standard sweep: (code family x distance x noise)."""
+    from repro.study import Sweep
+
+    return Sweep(
+        codes=args.code,
+        distances=_parse_ints(args.distances),
+        probabilities=_parse_floats(args.probabilities),
+        rounds=args.rounds,
+        decoders=args.decoder,
+        # Old namespaces (pre-`add_backend_argument`) carried the
+        # backend under `sampler`; accept both for shim callers.
+        samplers=getattr(args, "backend", None)
+        or getattr(args, "sampler", "symbolic"),
+        max_shots=args.max_shots,
+        max_errors=args.max_errors,
+    )
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
-    from repro.engine import collect
+    from repro.study import ExecutionOptions, run
 
-    tasks = build_sweep_tasks(args)
+    # Materialize once: circuit construction is per-grid-point work and
+    # both the banner and the run need the task list.
+    tasks = _sweep_from_args(args).tasks()
     header = (
         f"{'code':>10} {'d':>3} {'p':>8} {'rounds':>6} | "
         f"{'shots':>9} {'errors':>7} {'rate':>10} "
         f"{'wilson 95% CI':>23} {'':>8}"
     )
+    seed_label = "entropy" if args.seed is None else args.seed
     print(f"collecting {len(tasks)} task(s), workers={args.workers}, "
-          f"seed={args.seed}" + (f", store={args.out}" if args.out else ""))
+          f"seed={seed_label}" + (f", store={args.out}" if args.out else ""))
     print(header)
     print("-" * len(header))
 
@@ -265,13 +318,15 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             f"[{low:.3e}, {high:.3e}] {tag:>8}"
         )
 
-    collect(
+    run(
         tasks,
-        base_seed=args.seed,
-        workers=args.workers,
-        chunk_shots=args.chunk_shots,
-        store=args.out,
-        progress=report,
+        ExecutionOptions(
+            base_seed=args.seed,
+            workers=args.workers,
+            chunk_shots=args.chunk_shots,
+            store=args.out,
+            progress=report,
+        ),
     )
     return 0
 
@@ -293,12 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("circuit", help="path to a .stim-dialect circuit file")
         if needs_shots:
             p.add_argument("--shots", type=int, default=10)
-            p.add_argument("--seed", type=int, default=None)
-            p.add_argument(
-                "--backend", "--simulator", dest="backend",
-                choices=backend_choices(), default="symbolic",
-                help="sampler backend (--simulator is a deprecated alias)",
-            )
+            add_seed_argument(p)
+            add_backend_argument(p, default="symbolic")
 
     sub.add_parser(
         "backends",
@@ -331,18 +382,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=decoder_choices() + ("none",),
         default="compiled-matching",
     )
-    decode_parser.add_argument(
-        "--backend", "--sampler", dest="sampler",
-        choices=backend_choices(), default="frame",
-        help="sampler backend (--sampler is a deprecated alias)",
-    )
+    add_backend_argument(decode_parser, default="frame")
     decode_parser.add_argument(
         "--max-errors", type=int, default=None,
         help="stop early once this many logical errors accumulate",
     )
     decode_parser.add_argument("--chunk-shots", type=int, default=2_000)
     decode_parser.add_argument("--workers", type=int, default=1)
-    decode_parser.add_argument("--seed", type=int, default=0)
+    add_seed_argument(decode_parser)
 
     collect_parser = sub.add_parser(
         "collect",
@@ -376,11 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         default="compiled-matching",
         help="registry decoder name/alias, or 'none' to count raw flips",
     )
-    collect_parser.add_argument(
-        "--backend", "--sampler", dest="sampler",
-        choices=backend_choices(), default="symbolic",
-        help="sampler backend (--sampler is a deprecated alias)",
-    )
+    add_backend_argument(collect_parser, default="symbolic")
     collect_parser.add_argument("--max-shots", type=int, default=10_000)
     collect_parser.add_argument(
         "--max-errors", type=int, default=None,
@@ -391,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="worker processes (1 = serial; counts are identical either way)",
     )
-    collect_parser.add_argument("--seed", type=int, default=0)
+    add_seed_argument(collect_parser)
     collect_parser.add_argument(
         "--out", default=None,
         help="JSONL result store path (enables resume)",

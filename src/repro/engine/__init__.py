@@ -19,7 +19,8 @@ or from the command line: ``python -m repro collect --help``.
 """
 
 from repro.engine.cache import SamplerCache, shared_cache
-from repro.engine.collector import ResultStore, TaskStats, collect
+from repro.engine.collector import ResultStore, TaskStats, collect, fresh_base_seed
+from repro.engine.options import ExecutionOptions
 from repro.engine.tasks import Task
 from repro.engine.workers import ChunkResult, ChunkRunner, ChunkSpec, plan_chunks, run_chunk
 
@@ -27,11 +28,13 @@ __all__ = [
     "ChunkResult",
     "ChunkRunner",
     "ChunkSpec",
+    "ExecutionOptions",
     "ResultStore",
     "SamplerCache",
     "Task",
     "TaskStats",
     "collect",
+    "fresh_base_seed",
     "plan_chunks",
     "run_chunk",
     "shared_cache",

@@ -23,7 +23,10 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Iterable
 
+import numpy as np
+
 from repro.decoders.metrics import wilson_interval
+from repro.engine.options import UNSET, ExecutionOptions, explicit_kwargs
 from repro.engine.tasks import Task
 from repro.engine.workers import ChunkRunner, plan_chunks
 
@@ -59,11 +62,14 @@ class TaskStats:
 
     @classmethod
     def from_row(cls, row: dict[str, Any]) -> "TaskStats":
+        metadata = row.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise ValueError("metadata is not a JSON object")
         return cls(
             task_id=row["task_id"],
             decoder=row.get("decoder", "matching"),
             sampler=row.get("sampler", "symbolic"),
-            metadata=row.get("metadata", {}),
+            metadata=metadata,
             shots=int(row["shots"]),
             errors=int(row["errors"]),
             seconds=float(row.get("seconds", 0.0)),
@@ -89,23 +95,27 @@ class ResultStore:
         rows: dict[str, TaskStats] = {}
         if not os.path.exists(self.path):
             return rows
-        with open(self.path) as handle:
+        with open(self.path, errors="replace") as handle:
             for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     row = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn trailing line is what a killed run leaves
-                    # behind; the row's task simply re-collects.
+                    if not isinstance(row, dict):
+                        raise ValueError("row is not a JSON object")
+                    stats = TaskStats.from_row(row)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # A torn trailing line (or stray garbage bytes) is
+                    # what a killed run leaves behind; the row's task
+                    # simply re-collects.
                     print(
                         f"warning: skipping corrupt row at "
                         f"{self.path}:{number}",
                         file=sys.stderr,
                     )
                     continue
-                rows[row["task_id"]] = TaskStats.from_row(row)
+                rows[stats.task_id] = stats
         return rows
 
     def append(self, stats: TaskStats) -> None:
@@ -117,16 +127,34 @@ class ResultStore:
             handle.flush()
 
 
+def fresh_base_seed() -> int:
+    """One 64-bit seed word drawn from OS entropy.
+
+    Used when a run requests ``base_seed=None``: the drawn word is
+    recorded in every row the run writes, so even "unseeded" results
+    stay auditable and individually reproducible.
+    """
+    return int(np.random.SeedSequence().entropy) & ((1 << 64) - 1)
+
+
 def collect(
     tasks: Iterable[Task],
     *,
-    base_seed: int = 0,
-    workers: int = 1,
-    chunk_shots: int = 2_000,
-    store: ResultStore | str | os.PathLike | None = None,
-    progress: Callable[[TaskStats], None] | None = None,
+    options: ExecutionOptions | None = None,
+    base_seed: int | None = UNSET,
+    workers: int = UNSET,
+    chunk_shots: int = UNSET,
+    max_errors: int | None = UNSET,
+    store: ResultStore | str | os.PathLike | None = UNSET,
+    progress: Callable[[TaskStats], None] | None = UNSET,
 ) -> list[TaskStats]:
     """Collect statistics for every task; returns one TaskStats per task.
+
+    Execution policy comes from ``options`` (an
+    :class:`~repro.engine.options.ExecutionOptions`) when given, or
+    from the loose keyword arguments — the same knobs — for direct
+    calls.  Mixing the two raises :class:`TypeError` (explicit settings
+    are never silently dropped).
 
     * ``workers`` — process-pool size (``1`` = in-process serial);
       aggregate counts are identical for every value, by construction.
@@ -134,29 +162,62 @@ def collect(
       protocol (it sets the early-stop granularity and the RNG chunking),
       so changing it changes which shots are drawn — keep it fixed
       across runs that share a store.
+    * ``base_seed`` — int for reproducible runs; ``None`` draws one
+      fresh OS-entropy seed for the whole run (recorded in every row)
+      and accepts any completed stored row on resume.
+    * ``max_errors`` — default early-stop policy for tasks whose own
+      ``max_errors`` is ``None``; a task-level value always wins.
     * ``store`` — path or :class:`ResultStore`; tasks with an existing
       row are returned as ``resumed`` without sampling a single shot.
     * ``progress`` — callback invoked with each finished TaskStats.
     """
+    passed = explicit_kwargs(
+        base_seed=base_seed,
+        workers=workers,
+        chunk_shots=chunk_shots,
+        max_errors=max_errors,
+        store=store,
+        progress=progress,
+    )
+    if options is None:
+        options = ExecutionOptions(**passed)
+    elif passed:
+        raise TypeError(
+            f"pass execution settings via options= or as loose keyword "
+            f"arguments, not both (options given alongside "
+            f"{', '.join(sorted(passed))}; use options.replace(...))"
+        )
     task_list = list(tasks)
+    store = options.store
     if isinstance(store, (str, os.PathLike)):
         store = ResultStore(store)
+    progress = options.progress
     completed = store.load() if store is not None else {}
+    run_seed = (
+        options.base_seed if options.base_seed is not None else fresh_base_seed()
+    )
 
     results: list[TaskStats] = []
-    with ChunkRunner(workers=workers) as runner:
+    with ChunkRunner(workers=options.workers) as runner:
         for task in task_list:
             task_id = task.strong_id()
             stored = completed.get(task_id)
             # A row only satisfies this run if it was collected under the
             # same base seed (legacy rows without one are accepted) —
-            # changing --seed must produce fresh, independent counts.
-            if stored is not None and stored.base_seed in (None, base_seed):
+            # changing --seed must produce fresh, independent counts.  An
+            # unseeded run (base_seed=None) asks for *a* sample, not a
+            # specific one, so any completed row satisfies it.
+            if stored is not None and (
+                options.base_seed is None
+                or stored.base_seed in (None, options.base_seed)
+            ):
                 results.append(stored)
                 if progress is not None:
                     progress(stored)
                 continue
-            stats = _collect_one(task, runner, base_seed, chunk_shots)
+            stats = _collect_one(
+                task, runner, run_seed, options.chunk_shots, options.max_errors
+            )
             if store is not None:
                 store.append(stats)
             results.append(stats)
@@ -166,7 +227,11 @@ def collect(
 
 
 def _collect_one(
-    task: Task, runner: ChunkRunner, base_seed: int, chunk_shots: int
+    task: Task,
+    runner: ChunkRunner,
+    base_seed: int,
+    chunk_shots: int,
+    default_max_errors: int | None = None,
 ) -> TaskStats:
     """Run one task's chunks through the runner with ordered early stop."""
     stats = TaskStats(
@@ -176,13 +241,16 @@ def _collect_one(
         metadata=dict(task.metadata),
         base_seed=base_seed,
     )
+    max_errors = (
+        task.max_errors if task.max_errors is not None else default_max_errors
+    )
     specs = plan_chunks(task, base_seed, chunk_shots)
     wall_start = time.perf_counter()
     for result in runner.run(specs):
         stats.shots += result.shots
         stats.errors += result.errors
         stats.chunks += 1
-        if task.max_errors is not None and stats.errors >= task.max_errors:
+        if max_errors is not None and stats.errors >= max_errors:
             break
     stats.seconds = time.perf_counter() - wall_start
     return stats

@@ -1,0 +1,97 @@
+"""Execution policy for collection runs, as one typed object.
+
+:class:`ExecutionOptions` gathers every knob that describes *how* a
+collection runs — worker count, chunk size, base seed, early-stop
+policy, result store, progress hook — as distinct from the
+:class:`~repro.engine.tasks.Task` list that describes *what* is being
+measured.  One options object can drive many sweeps; none of its fields
+participate in task identity (``strong_id``), so stored rows always
+remain addressable.  ``workers``, ``store`` and ``progress`` are pure
+scheduling/reporting choices and may vary freely between runs of one
+store; ``base_seed`` is seed-checked on resume (a different explicit
+seed re-collects, by design), and ``chunk_shots`` is part of the
+statistical protocol (it sets which shots are drawn), so keep both
+fixed across runs that share a store.
+
+``base_seed=None`` requests fresh OS entropy: the run draws one random
+seed word, records it in every row it writes (so the run itself remains
+auditable), and accepts *any* completed row on resume — an unseeded run
+asks for "a" sample, not a specific one.  Pass an int for reproducible,
+seed-checked resumable runs.
+"""
+
+from __future__ import annotations
+
+import os  # noqa: F401 - referenced in field annotations
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.collector import TaskStats  # noqa: F401
+
+
+# Shared "not passed" sentinel for keyword arguments whose defaults
+# live elsewhere (ExecutionOptions fields, sweep-level settings):
+# comparing against it distinguishes "not passed" from "passed the
+# default", so explicit settings are never silently dropped.
+UNSET: Any = object()
+
+
+def explicit_kwargs(**kwargs: Any) -> dict[str, Any]:
+    """The subset of ``kwargs`` that was actually passed (not UNSET)."""
+    return {
+        name: value for name, value in kwargs.items() if value is not UNSET
+    }
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How to run a collection (the engine's execution policy).
+
+    * ``workers`` — process-pool size (``1`` = in-process serial).
+      Aggregate counts are identical for every value, by construction.
+    * ``chunk_shots`` — shots per derived-seed chunk.  Part of the
+      statistical protocol (it sets the RNG chunking and the early-stop
+      granularity), so keep it fixed across runs that share a store.
+    * ``base_seed`` — int for reproducible runs, ``None`` (the
+      default, matching every other seed entry point in the package)
+      for fresh OS entropy — see the module docstring for the resume
+      semantics.
+    * ``max_errors`` — default early-stop policy applied to every task
+      whose own ``max_errors`` is ``None``; a task-level value always
+      wins.
+    * ``store`` — JSONL result-store path (or ``ResultStore``); enables
+      resume.
+    * ``progress`` — callback invoked with each finished ``TaskStats``.
+    """
+
+    workers: int = 1
+    chunk_shots: int = 2_000
+    base_seed: int | None = None
+    max_errors: int | None = None
+    store: "str | os.PathLike | Any | None" = None
+    progress: "Callable[[TaskStats], None] | None" = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.chunk_shots < 1:
+            raise ValueError("chunk_shots must be positive")
+        if self.max_errors is not None and self.max_errors < 1:
+            raise ValueError("max_errors must be positive when set")
+
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def resolve(
+        cls, options: "ExecutionOptions | None", **overrides: Any
+    ) -> "ExecutionOptions":
+        """``options`` — or the defaults when ``None`` — with keyword
+        ``overrides`` patched in.  The one resolution rule every
+        ``collect()`` entry point shares."""
+        resolved = options if options is not None else cls()
+        return resolved.replace(**overrides) if overrides else resolved

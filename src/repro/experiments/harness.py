@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.backends import compile_backend
 from repro.circuit.circuit import Circuit
-from repro.engine.cache import shared_cache
 from repro.experiments.timing import format_table, time_call
 from repro.layout import make_layout
 from repro.qec import surface_code_memory
@@ -25,16 +24,13 @@ from repro.workloads.layered import (
 
 
 def _cached_sampler(circuit: Circuit, backend: str = "symbolic"):
-    """Backend sampler via the engine's fingerprint-keyed cache.
+    """Backend sampler via ``Circuit.compile()``'s fingerprint-keyed cache.
 
     Used wherever the harness needs a sampler but is *not* timing its
     construction — repeated invocations (sweeps, ``all``) then pay each
     backend's one-time compile once per distinct circuit.
     """
-    return shared_cache().get_or_build(
-        ("sampler", circuit.fingerprint(), backend),
-        lambda: compile_backend(circuit, backend),
-    )
+    return circuit.compile(sampler=backend).sampler
 
 _FIG3_BUILDERS = {
     "fig3a": fig3a_circuit,
@@ -255,49 +251,44 @@ def run_threshold(
     store_path: str | None = None,
     decoder: str = "compiled-matching",
 ) -> list[dict]:
-    """Repetition-code threshold sweep on the collection engine.
+    """Repetition-code threshold sweep on the study API.
 
-    The intro's workload, end to end: each (d, p) point is a Task; the
-    engine compiles each circuit once, splits the shot budget into
-    derived-seed chunks (optionally across ``workers`` processes) and
-    aggregates Wilson-interval logical error rates.  Counts are
-    independent of ``workers``.
+    The intro's workload, end to end: the (d, p) grid is a
+    :class:`repro.study.Sweep`; the engine compiles each circuit once,
+    splits the shot budget into derived-seed chunks (optionally across
+    ``workers`` processes) and aggregates Wilson-interval logical error
+    rates.  Counts are independent of ``workers``.
 
     ``decoder`` is any registered :mod:`repro.decoders` name; the
     default batched compiled matcher keeps decoding off the sweep's
     critical path (its predictions are bitwise identical to
     ``"matching"``, so the estimated rates are too).
     """
-    from repro.engine import Task, collect
-    from repro.qec import repetition_code_memory
+    from repro.study import ExecutionOptions, Sweep
 
-    distances = distances or [3, 5, 7]
-    probabilities = probabilities or [0.02, 0.05, 0.10, 0.20]
-    tasks = [
-        Task(
-            repetition_code_memory(
-                d, rounds=rounds,
-                data_flip_probability=p,
-                measure_flip_probability=p,
-            ),
-            decoder=decoder,
-            max_shots=shots,
-            metadata={"distance": d, "p": p, "rounds": rounds},
-        )
-        for p in probabilities
-        for d in distances
-    ]
-    stats = collect(
-        tasks, base_seed=seed, workers=workers, store=store_path
+    sweep = Sweep(
+        codes="repetition",
+        distances=distances or [3, 5, 7],
+        probabilities=probabilities or [0.02, 0.05, 0.10, 0.20],
+        rounds=rounds,
+        decoders=decoder,
+        max_shots=shots,
     )
-    rows = [s.to_row() for s in stats]
+    result = sweep.collect(
+        ExecutionOptions(base_seed=seed, workers=workers, store=store_path)
+    )
+    rows = result.to_rows()
 
     print(f"\n== threshold: repetition code, {shots} shots/point, "
-          f"decoder={tasks[0].decoder}, workers={workers} ==")
+          f"decoder={result[0].decoder}, workers={workers} ==")
     print(format_table(
         ["d", "p", "shots", "errors", "LER", "wilson low", "wilson high"],
         [[r["metadata"]["distance"], r["metadata"]["p"], r["shots"],
           r["errors"], r["error_rate"], r["wilson_low"], r["wilson_high"]]
          for r in rows],
     ))
+    estimate = result.threshold_estimate()
+    if estimate is not None:
+        print(f"threshold estimate (d={min(sweep.distances)} x "
+              f"d={max(sweep.distances)} crossing): p ~ {estimate:.3f}")
     return rows

@@ -1,0 +1,232 @@
+"""One handle from circuit to logical error rate.
+
+:class:`CompiledCircuit` is the object the paper's workflow wants:
+``Circuit.compile()`` names a sampler backend and a decoder once, and
+everything behind that choice — the compiled backend sampler, the
+merged detector error model, the compiled decoder — is built lazily on
+first use and memoized through the engine's fingerprint-keyed
+:class:`~repro.engine.cache.SamplerCache`.  Two handles over equal
+circuits (same canonical text) therefore share one compiled sampler,
+and a handle warmed interactively shares its artifacts with any
+in-process engine run that touches the same circuit, because both sides
+use the same cache keys.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.engine.cache import shared_cache
+from repro.engine.options import UNSET, ExecutionOptions, explicit_kwargs
+from repro.engine.tasks import (
+    NO_DECODER,
+    Task,
+    resolve_decoder_name,
+    resolve_sampler_name,
+)
+from repro.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.circuit import Circuit
+    from repro.engine.collector import TaskStats
+
+
+class CompiledCircuit:
+    """A circuit bound to a sampler backend and a decoder, compiled once.
+
+    Construction is cheap: it only resolves the ``sampler`` and
+    ``decoder`` names to their canonical registry spellings (aliases
+    like ``"symphase"`` or ``"mwpm"`` share one cache entry and one
+    ``strong_id`` with their canonical names).  The heavy artifacts are
+    built on first use:
+
+    * :attr:`sampler` — the compiled backend sampler,
+    * :attr:`dem` — the merged detector error model,
+    * :attr:`decoder` — the compiled decoder over that DEM,
+
+    each memoized in the process-global sampler cache under the same
+    keys the engine's workers use.
+
+    Every sampling method accepts ``seed_or_rng``: ``None`` (fresh OS
+    entropy), an int seed, a ``SeedSequence``, or a ``Generator``.
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        *,
+        sampler: str = "symbolic",
+        decoder: str = "compiled-matching",
+    ):
+        self.circuit = circuit
+        self.sampler_name = resolve_sampler_name(sampler)
+        self.decoder_name = resolve_decoder_name(decoder)
+        self._fingerprint: str | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.fingerprint[:12]}, "
+            f"sampler={self.sampler_name!r}, decoder={self.decoder_name!r})"
+        )
+
+    # -- lazily built, cache-shared artifacts ----------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The circuit's content fingerprint (cached; do not mutate the
+        circuit after compiling it)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.circuit.fingerprint()
+        return self._fingerprint
+
+    @property
+    def sampler(self):
+        """The compiled backend sampler (built on first access)."""
+        from repro.backends import compile_backend
+
+        return shared_cache().get_or_build(
+            ("sampler", self.fingerprint, self.sampler_name),
+            lambda: compile_backend(self.circuit, self.sampler_name),
+        )
+
+    @property
+    def dem(self):
+        """The merged detector error model (built on first access)."""
+        from repro.dem import extract_dem
+
+        return shared_cache().get_or_build(
+            ("dem", self.fingerprint), lambda: extract_dem(self.circuit)
+        )
+
+    @property
+    def decoder(self):
+        """The compiled decoder over :attr:`dem` (built on first access)."""
+        from repro.decoders import compile_decoder
+
+        if self.decoder_name == NO_DECODER:
+            raise ValueError(
+                "this circuit was compiled with decoder='none'; "
+                "re-compile with a registered decoder to decode"
+            )
+        return shared_cache().get_or_build(
+            ("decoder", self.fingerprint, self.decoder_name),
+            lambda: compile_decoder(self.dem, self.decoder_name),
+        )
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, shots: int, seed_or_rng=None) -> np.ndarray:
+        """Measurement records, one row per shot."""
+        return self.sampler.sample(shots, as_generator(seed_or_rng))
+
+    def detect(self, shots: int, seed_or_rng=None):
+        """``(detectors, observables)`` sample arrays, one row per shot."""
+        return self.sampler.sample_detectors(shots, as_generator(seed_or_rng))
+
+    def decode(self, shots: int, seed_or_rng=None):
+        """Sample ``shots`` detector rows and decode them in one batch.
+
+        Returns ``(predictions, observables)``: the decoder's predicted
+        observable flips next to the true ones.  Bitwise identical to
+        running the manual pipeline — ``sample_detectors`` on the same
+        backend and generator, ``extract_dem``, ``compile_decoder``,
+        ``decode_batch`` — because that is exactly what it does.
+        """
+        detectors, observables = self.detect(shots, seed_or_rng)
+        return self.decoder.decode_batch(detectors), observables
+
+    # -- engine integration ----------------------------------------------
+
+    def task(
+        self,
+        *,
+        max_shots: int = 10_000,
+        max_errors: int | None = None,
+        metadata: dict[str, Any] | None = None,
+    ) -> Task:
+        """An engine :class:`~repro.engine.tasks.Task` for this handle."""
+        return Task(
+            self.circuit,
+            decoder=self.decoder_name,
+            sampler=self.sampler_name,
+            max_shots=max_shots,
+            max_errors=max_errors,
+            metadata=dict(metadata or {}),
+        )
+
+    def collect(
+        self,
+        options: ExecutionOptions | None = None,
+        *,
+        max_shots: int = 10_000,
+        max_errors: int | None = None,
+        metadata: dict[str, Any] | None = None,
+        **overrides: Any,
+    ) -> "TaskStats":
+        """Estimate this circuit's logical error rate through the engine.
+
+        The shot budget streams through the collection engine in
+        derived-seed chunks (optionally across ``options.workers``
+        processes); counts are independent of the worker count.  Extra
+        keyword ``overrides`` patch ``options`` (e.g. ``workers=4``).
+        """
+        from repro.engine.collector import collect as engine_collect
+
+        options = ExecutionOptions.resolve(options, **overrides)
+        task = self.task(
+            max_shots=max_shots, max_errors=max_errors, metadata=metadata
+        )
+        return engine_collect([task], options=options)[0]
+
+    def logical_error_rate(
+        self,
+        shots: int,
+        seed=None,
+        *,
+        max_errors: int | None = UNSET,
+        workers: int = UNSET,
+        chunk_shots: int = UNSET,
+    ) -> float:
+        """Fraction of ``shots`` where decoding fails to predict the
+        observable flips.
+
+        With an int seed (or ``None``), the budget runs through the
+        collection engine's derived-seed chunking, so the counts are
+        bitwise identical to ``collect([self.task(...)],
+        base_seed=seed)`` — interactive estimates and batch sweeps agree
+        shot for shot.  With an explicit ``Generator`` or
+        ``SeedSequence`` (whose state cannot be threaded into
+        independent per-chunk streams), the shots are drawn as one
+        in-process batch from that stream instead.
+
+        With ``decoder="none"`` there is no decoding: an "error" is any
+        raw observable flip (the engine's ``none`` semantics), on both
+        paths.
+        """
+        passed = explicit_kwargs(
+            max_errors=max_errors, workers=workers, chunk_shots=chunk_shots
+        )
+        if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+            if passed:
+                raise ValueError(
+                    f"{'/'.join(sorted(passed))} require an int seed (or "
+                    f"None): an explicit Generator/SeedSequence stream "
+                    f"samples one in-process batch, outside the engine's "
+                    f"chunked early-stopping path"
+                )
+            if self.decoder_name == NO_DECODER:
+                _, observables = self.detect(shots, seed)
+                return float(observables.any(axis=1).mean())
+            predictions, observables = self.decode(shots, seed)
+            failures = (predictions != observables).any(axis=1)
+            return float(failures.mean())
+        stats = self.collect(
+            ExecutionOptions(base_seed=seed).replace(
+                **{k: v for k, v in passed.items() if k != "max_errors"}
+            ),
+            max_shots=shots,
+            max_errors=passed.get("max_errors"),
+        )
+        return stats.error_rate

@@ -1,0 +1,269 @@
+"""Typed results of a sweep: filtering, grouping, tables, thresholds.
+
+:class:`SweepResult` wraps the engine's per-task
+:class:`~repro.engine.collector.TaskStats` rows with the operations an
+analysis actually performs — select the repetition-code rows, group by
+distance, print an ASCII table, export JSON, estimate where the
+threshold sits — so consumers never reach into raw dict rows.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.collector import TaskStats
+
+# Canonical sweep metadata keys, in display order; other keys follow
+# alphabetically and `decoder`/`sampler` match TaskStats fields.
+_LEAD_KEYS = ("code", "distance", "p", "rounds")
+
+
+def _canonical_filter_value(key: str, value: Any) -> Any:
+    """Resolve decoder/sampler filter values to their canonical registry
+    names, so ``by(decoder="mwpm")`` matches rows stored as
+    ``"matching"`` (stats always carry canonical names — Task resolves
+    aliases at construction).  Unknown names pass through unchanged (and
+    simply match nothing)."""
+    try:
+        if key == "decoder" and value != "none":
+            from repro.decoders.registry import canonical_name
+
+            return canonical_name(value)
+        if key == "sampler":
+            from repro.backends import canonical_name
+
+            return canonical_name(value)
+    except (KeyError, TypeError):
+        pass
+    return value
+
+
+class SweepResult:
+    """An ordered collection of finished-task statistics."""
+
+    def __init__(self, stats: Iterable[TaskStats]):
+        self.stats: list[TaskStats] = list(stats)
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def __iter__(self) -> Iterator[TaskStats]:
+        return iter(self.stats)
+
+    def __getitem__(self, index):
+        picked = self.stats[index]
+        return SweepResult(picked) if isinstance(index, slice) else picked
+
+    def __repr__(self) -> str:
+        return f"SweepResult({len(self.stats)} rows)"
+
+    # -- selection -------------------------------------------------------
+
+    def by(self, **filters: Any) -> "SweepResult":
+        """Rows matching every filter.
+
+        ``decoder=`` and ``sampler=`` match the stats fields (registry
+        aliases like ``"mwpm"`` resolve to their canonical names first);
+        any other keyword matches a metadata key (``by(code="repetition",
+        distance=5)``).  A tuple/list/set filter value matches any of
+        its members.
+        """
+
+        def matches(stats: TaskStats, key: str, wanted: Any) -> bool:
+            if key in ("decoder", "sampler"):
+                value = getattr(stats, key)
+                if isinstance(wanted, (tuple, list, set, frozenset)):
+                    wanted = [_canonical_filter_value(key, w) for w in wanted]
+                else:
+                    wanted = _canonical_filter_value(key, wanted)
+            elif key in stats.metadata:
+                value = stats.metadata[key]
+            else:
+                return False
+            if isinstance(wanted, (tuple, list, set, frozenset)):
+                return value in wanted
+            return value == wanted
+
+        return SweepResult(
+            s for s in self.stats
+            if all(matches(s, k, v) for k, v in filters.items())
+        )
+
+    def group(self, key: str) -> dict[Any, "SweepResult"]:
+        """Rows grouped by one metadata key (or ``decoder``/``sampler``),
+        keyed by that value, in sorted order; rows without it are
+        dropped."""
+        values = self.values(key)
+        return {value: self.by(**{key: value}) for value in values}
+
+    def values(self, key: str) -> list[Any]:
+        """Sorted distinct values of a metadata key (or
+        ``decoder``/``sampler``) across the rows."""
+        found = set()
+        for stats in self.stats:
+            if key in ("decoder", "sampler"):
+                found.add(getattr(stats, key))
+            elif key in stats.metadata:
+                found.add(stats.metadata[key])
+        return sorted(found)
+
+    # -- export ----------------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """One plain dict per row (the result-store row format)."""
+        return [stats.to_row() for stats in self.stats]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The rows as one JSON array."""
+        return json.dumps(self.to_rows(), indent=indent)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def table(self, keys: tuple[str, ...] | None = None) -> str:
+        """An ASCII table of the rows: metadata columns, then counts,
+        rate and the Wilson 95% interval.
+
+        ``keys`` overrides the columns and may name metadata keys or the
+        ``decoder``/``sampler`` stats fields.  By default: the union of
+        metadata keys across rows (canonical sweep keys first), plus a
+        ``decoder``/``sampler`` column whenever the rows differ on it —
+        a multi-decoder sweep's rows stay distinguishable.
+        """
+        if keys is None:
+            seen: dict[str, None] = {}
+            for stats in self.stats:
+                for key in stats.metadata:
+                    seen[key] = None
+            keys = tuple(k for k in _LEAD_KEYS if k in seen) + tuple(
+                sorted(k for k in seen if k not in _LEAD_KEYS)
+            )
+            keys += tuple(
+                field for field in ("decoder", "sampler")
+                if len(self.values(field)) > 1
+            )
+
+        def cell(stats: TaskStats, key: str) -> str:
+            if key in ("decoder", "sampler"):
+                return str(getattr(stats, key))
+            return str(stats.metadata.get(key, "-"))
+
+        headers = [*keys, "shots", "errors", "rate", "wilson 95% CI"]
+        rows = []
+        for stats in self.stats:
+            low, high = stats.wilson()
+            rows.append(
+                [cell(stats, k) for k in keys]
+                + [
+                    str(stats.shots),
+                    str(stats.errors),
+                    f"{stats.error_rate:.3e}",
+                    f"[{low:.3e}, {high:.3e}]",
+                ]
+            )
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    # -- analysis --------------------------------------------------------
+
+    def totals(self) -> tuple[int, int]:
+        """``(shots, errors)`` summed over all rows."""
+        return (
+            sum(s.shots for s in self.stats),
+            sum(s.errors for s in self.stats),
+        )
+
+    def rate_curve(
+        self, x: str = "p", series: str = "distance"
+    ) -> dict[Any, list[tuple[Any, float]]]:
+        """Error-rate curves: ``{series_value: [(x_value, rate), ...]}``,
+        each curve sorted by ``x``.
+
+        Raises :class:`ValueError` when two rows share one ``(series,
+        x)`` grid point (e.g. a sweep over several decoders or rounds):
+        a curve mixing those silently would be wrong — narrow the
+        result first, ``result.by(decoder=...).rate_curve()``.
+        """
+        curves: dict[Any, dict[Any, float]] = {}
+        for stats in self.stats:
+            sv = stats.metadata.get(series)
+            xv = stats.metadata.get(x)
+            if sv is None or xv is None:
+                continue
+            points = curves.setdefault(sv, {})
+            if xv in points:
+                raise ValueError(
+                    f"multiple rows share {series}={sv!r}, {x}={xv!r} "
+                    f"(a sweep over several codes, decoders, samplers or "
+                    f"rounds?); narrow first, e.g. "
+                    f".by(code=...).rate_curve() or .by(decoder=...)"
+                )
+            points[xv] = stats.error_rate
+        return {
+            sv: sorted(points.items()) for sv, points in sorted(curves.items())
+        }
+
+    def threshold_estimate(
+        self, x: str = "p", series: str = "distance"
+    ) -> float | None:
+        """Estimate the threshold: the ``x`` where the largest-``series``
+        error-rate curve crosses the smallest one.
+
+        Below threshold larger distance suppresses the logical error
+        rate; above it, it amplifies.  The crossing of the extreme
+        distance curves is located on their common ``x`` grid and
+        refined by linear interpolation in ``log10(x)``.  Returns
+        ``None`` when fewer than two curves share two or more grid
+        points, or when no crossing lies inside the sampled range.
+        Like :meth:`rate_curve`, raises :class:`ValueError` when the
+        rows hold more than one entry per ``(series, x)`` point (a
+        sweep over decoders/samplers/rounds) — narrow with
+        :meth:`by` first.
+        """
+        curves = self.rate_curve(x=x, series=series)
+        if len(curves) < 2:
+            return None
+        low_series = dict(curves[min(curves)])
+        high_series = dict(curves[max(curves)])
+        grid = sorted(set(low_series) & set(high_series))
+        if len(grid) < 2:
+            return None
+        # diff < 0: larger distance is winning (below threshold).
+        diffs = [high_series[g] - low_series[g] for g in grid]
+        for (x0, f0), (x1, f1) in zip(
+            zip(grid, diffs), zip(grid[1:], diffs[1:])
+        ):
+            if f0 == 0.0:
+                return float(x0)
+            if f0 < 0.0 <= f1:
+                t = -f0 / (f1 - f0)
+                if x0 > 0 and x1 > 0:
+                    return float(
+                        10.0
+                        ** (math.log10(x0) + t * (math.log10(x1) - math.log10(x0)))
+                    )
+                return float(x0 + t * (x1 - x0))
+        if diffs[-1] == 0.0:
+            return float(grid[-1])
+        return None
+
+    # -- misc ------------------------------------------------------------
+
+    def sort(self, key: Callable[[TaskStats], Any]) -> "SweepResult":
+        """A copy sorted by ``key(stats)``."""
+        return SweepResult(sorted(self.stats, key=key))

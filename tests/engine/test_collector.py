@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.engine import (
+    ExecutionOptions,
     ResultStore,
     Task,
     TaskStats,
@@ -173,6 +174,141 @@ class TestResume:
         loaded = store.load()
         assert list(loaded) == ["t1"]
         assert "corrupt row" in capsys.readouterr().err
+
+    def test_malformed_rows_skipped_not_raised(self, tmp_path, capsys):
+        """Every flavour of trailing corruption — raw garbage bytes,
+        valid JSON that is not an object, objects missing required
+        fields or with wrong types — is warned about and skipped."""
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(TaskStats("t1", "matching", "symphase", shots=10, errors=1))
+        with open(store.path, "ab") as handle:
+            handle.write(b"\x00\xfe\xffgarbage bytes, not JSON\n")
+            handle.write(b'["valid", "json", "wrong", "shape"]\n')
+            handle.write(b'{"shots": 5, "errors": 1}\n')  # no task_id
+            handle.write(b'{"task_id": "t3", "shots": "many", "errors": 0}\n')
+            handle.write(
+                b'{"task_id": "t4", "shots": 5, "errors": 0, '
+                b'"metadata": "junk"}\n'
+            )
+            handle.write(b'{"task_id": "t2", "shots": 5')  # torn mid-row
+        loaded = store.load()
+        assert list(loaded) == ["t1"]
+        assert capsys.readouterr().err.count("corrupt row") == 6
+
+    def test_resume_after_garbage_append(self, tmp_path):
+        """The regression the hardening guards: a store with trailing
+        garbage still resumes its intact rows and re-collects the rest."""
+        store_path = tmp_path / "results.jsonl"
+        done, torn = make_task(0.05), make_task(0.10)
+        collect([done], base_seed=SEED, chunk_shots=500, store=store_path)
+        collect([torn], base_seed=SEED, chunk_shots=500, store=store_path)
+        lines = store_path.read_bytes().splitlines(keepends=True)
+        store_path.write_bytes(lines[0] + lines[1][:37] + b"\xff\x00 torn!")
+        both = collect(
+            [done, torn], base_seed=SEED, chunk_shots=500, store=store_path
+        )
+        assert both[0].resumed
+        assert not both[1].resumed
+        assert both[1].shots == torn.max_shots
+
+    def test_unseeded_run_accepts_any_stored_row(self, tmp_path):
+        """base_seed=None means "a sample", not a specific one: stored
+        rows satisfy it regardless of the seed that produced them."""
+        store_path = tmp_path / "results.jsonl"
+        task = make_task(0.05)
+        seeded = collect(
+            [task], base_seed=SEED, chunk_shots=500, store=store_path
+        )
+        unseeded = collect(
+            [task], base_seed=None, chunk_shots=500, store=store_path
+        )
+        assert unseeded[0].resumed
+        assert unseeded[0].errors == seeded[0].errors
+
+    def test_unseeded_run_records_drawn_seed(self):
+        task = make_task(0.05, max_shots=500)
+        stats = collect([task], base_seed=None, chunk_shots=500)[0]
+        assert isinstance(stats.base_seed, int)
+        # The drawn word reproduces the run exactly.
+        again = collect(
+            [task], base_seed=stats.base_seed, chunk_shots=500
+        )[0]
+        assert (again.shots, again.errors) == (stats.shots, stats.errors)
+
+
+class TestExecutionOptions:
+    def test_options_equivalent_to_loose_kwargs(self, tmp_path):
+        task = make_task(0.10)
+        loose = collect(
+            [task], base_seed=SEED, workers=1, chunk_shots=400,
+            store=tmp_path / "a.jsonl",
+        )[0]
+        typed = collect(
+            [task],
+            options=ExecutionOptions(
+                base_seed=SEED, workers=1, chunk_shots=400,
+                store=tmp_path / "b.jsonl",
+            ),
+        )[0]
+        assert (loose.task_id, loose.shots, loose.errors, loose.chunks) == (
+            typed.task_id, typed.shots, typed.errors, typed.chunks
+        )
+
+    def test_default_max_errors_policy(self):
+        """Options-level max_errors applies to tasks without their own."""
+        task = make_task(0.20, max_shots=10_000, max_errors=None)
+        stats = collect(
+            [task],
+            options=ExecutionOptions(
+                base_seed=SEED, chunk_shots=250, max_errors=10
+            ),
+        )[0]
+        assert stats.errors >= 10
+        assert stats.shots < 10_000
+
+    def test_task_max_errors_wins_over_policy(self):
+        task = make_task(0.20, max_shots=2_000, max_errors=150)
+        with_policy = collect(
+            [task],
+            options=ExecutionOptions(
+                base_seed=SEED, chunk_shots=250, max_errors=10
+            ),
+        )[0]
+        without = collect([task], base_seed=SEED, chunk_shots=250)[0]
+        assert (with_policy.shots, with_policy.errors) == (
+            without.shots, without.errors
+        )
+
+    def test_options_alongside_loose_kwargs_rejected(self):
+        """Loose kwargs must not be silently dropped when options= is
+        also given — that combination is an immediate error."""
+        with pytest.raises(TypeError, match="not both"):
+            collect([], options=ExecutionOptions(), workers=2)
+        with pytest.raises(TypeError, match="store"):
+            collect([], options=ExecutionOptions(), store="out.jsonl")
+
+    def test_explicit_default_valued_kwargs_also_rejected(self):
+        """Passing a kwarg that happens to equal its default alongside
+        options= still conflicts (sentinel, not value comparison)."""
+        with pytest.raises(TypeError, match="base_seed"):
+            collect([], options=ExecutionOptions(base_seed=7), base_seed=0)
+        with pytest.raises(TypeError, match="workers"):
+            collect([], options=ExecutionOptions(), workers=1)
+
+    def test_replace_returns_patched_copy(self):
+        options = ExecutionOptions(base_seed=1, workers=2)
+        patched = options.replace(workers=4)
+        assert patched.workers == 4
+        assert patched.base_seed == 1
+        assert options.workers == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionOptions(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionOptions(chunk_shots=0)
+        with pytest.raises(ValueError):
+            ExecutionOptions(max_errors=0)
 
 
 class TestCacheIntegration:

@@ -28,10 +28,10 @@ class TestSample:
         assert len(lines) == 7
         assert all(len(line) == 2 and set(line) <= {"0", "1"} for line in lines)
 
-    def test_frame_simulator_option(self, circuit_file, capsys):
+    def test_frame_backend_option(self, circuit_file, capsys):
         assert main([
             "sample", circuit_file, "--shots", "5", "--seed", "1",
-            "--simulator", "frame",
+            "--backend", "frame",
         ]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 5
@@ -42,6 +42,63 @@ class TestSample:
         main(["sample", circuit_file, "--shots", "20", "--seed", "42"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestSeedAndAliasHelpers:
+    def test_seed_defaults_to_fresh_entropy(self, circuit_file, capsys):
+        """No --seed => fresh OS entropy: two runs disagree (50 coin-flip
+        rows agreeing by chance is a 2^-50 event)."""
+        assert main(["sample", circuit_file, "--shots", "50"]) == 0
+        first = capsys.readouterr().out
+        assert main(["sample", circuit_file, "--shots", "50"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_shared_seed_helper_defaults_to_none(self):
+        """`repro decode` used to hard-code --seed 0; every command now
+        routes through one shared helper whose default is None."""
+        import argparse
+
+        from repro.cli import add_seed_argument
+
+        parser = argparse.ArgumentParser()
+        add_seed_argument(parser)
+        assert parser.parse_args([]).seed is None
+        assert parser.parse_args(["--seed", "3"]).seed == 3
+
+    @pytest.mark.parametrize("flag", ["--simulator", "--sampler"])
+    def test_legacy_backend_spellings_warn(self, circuit_file, capsys, flag):
+        with pytest.deprecated_call():
+            assert main([
+                "sample", circuit_file, "--shots", "3", "--seed", "0",
+                flag, "frame",
+            ]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    def test_canonical_backend_flag_does_not_warn(self, circuit_file, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main([
+                "sample", circuit_file, "--shots", "3", "--seed", "0",
+                "--backend", "frame",
+            ]) == 0
+
+    def test_build_sweep_tasks_shim_warns_and_delegates(self):
+        import argparse
+
+        from repro.cli import build_sweep_tasks
+
+        namespace = argparse.Namespace(
+            code="repetition", distances="3", probabilities="0.05",
+            rounds=2, decoder="compiled-matching", backend="symbolic",
+            max_shots=100, max_errors=None,
+        )
+        with pytest.deprecated_call():
+            tasks = build_sweep_tasks(namespace)
+        assert len(tasks) == 1
+        assert tasks[0].metadata["code"] == "repetition"
 
 
 class TestDetect:
