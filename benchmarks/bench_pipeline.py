@@ -1,0 +1,229 @@
+"""End-to-end hot path: sample + decode + count, packed vs unpacked.
+
+PR 2 made sampling compile-once, PR 3 made decoding compiled; this
+bench measures the whole pipeline — detector sampling, batch decoding,
+error counting — as one number (shots/sec), in both wire formats:
+
+* **unpacked** — ``sample_detectors`` -> ``decode_batch`` -> row-any
+  compare over ``(shots, n)`` uint8 matrices (the pre-packed-path
+  pipeline);
+* **packed**   — ``sample_detectors_packed`` ->
+  ``decode_batch_packed`` -> ``xor_rows_any`` over shot-major uint64
+  rows, never materializing a uint8 matrix.
+
+Both paths draw the same RNG stream and must produce the **same error
+count**; the run fails if they disagree.  A pooled leg runs the same
+workload through the collection engine's chunked scheduler (the packed
+path is what workers execute) for the deployment-shaped number.
+
+Results go to ``BENCH_pipeline.json`` at the repo root so the perf
+trajectory is tracked from this PR onward.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py \\
+          [--distance 7] [--shots 4096] [--fast] [--min-packed-speedup 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.engine import ExecutionOptions, Task, collect
+from repro.gf2 import bitops
+from repro.qec import surface_code_memory
+
+
+def _best_of(callable_, repeats: int):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _unpacked_pipeline(sampler, decoder, shots: int, seed: int) -> int:
+    detectors, observables = sampler.sample_detectors(
+        shots, np.random.default_rng(seed)
+    )
+    predictions = decoder.decode_batch(detectors)
+    return int((predictions != observables).any(axis=1).sum())
+
+
+def _packed_pipeline(sampler, decoder, shots: int, seed: int) -> int:
+    detectors, observables = sampler.sample_detectors_packed(
+        shots, np.random.default_rng(seed)
+    )
+    predictions = decoder.decode_batch_packed(detectors)
+    return int(np.count_nonzero(bitops.xor_rows_any(predictions, observables)))
+
+
+def run_bench(
+    distance: int,
+    rounds: int,
+    p: float,
+    shots: int,
+    repeats: int,
+    seed: int,
+    backend: str,
+    workers: int,
+) -> dict:
+    circuit = surface_code_memory(
+        distance, rounds,
+        after_clifford_depolarization=p,
+        before_measure_flip_probability=p,
+    )
+    compiled = circuit.compile(sampler=backend, decoder="compiled-matching")
+    compile_started = time.perf_counter()
+    sampler = compiled.sampler
+    decoder = compiled.decoder
+    compile_seconds = time.perf_counter() - compile_started
+
+    # Warm both paths once so neither pays lazy-init costs in the timing.
+    _unpacked_pipeline(sampler, decoder, shots, seed)
+    _packed_pipeline(sampler, decoder, shots, seed)
+
+    unpacked_seconds, unpacked_errors = _best_of(
+        lambda: _unpacked_pipeline(sampler, decoder, shots, seed), repeats
+    )
+    packed_seconds, packed_errors = _best_of(
+        lambda: _packed_pipeline(sampler, decoder, shots, seed), repeats
+    )
+
+    detectors, _ = sampler.sample_detectors_packed(
+        shots, np.random.default_rng(seed)
+    )
+    result = {
+        "circuit": {
+            "family": "surface_code_memory",
+            "distance": distance,
+            "rounds": rounds,
+            "p": p,
+            "n_detectors": compiled.dem.n_detectors,
+            "n_observables": compiled.dem.n_observables,
+        },
+        "backend": backend,
+        "decoder": "compiled-matching",
+        "shots_per_batch": shots,
+        "repeats": repeats,
+        "compile_seconds": compile_seconds,
+        "mean_defects_per_shot": float(
+            bitops.popcount_rows(detectors).mean()
+        ),
+        "serial": {
+            "unpacked": {
+                "seconds": unpacked_seconds,
+                "shots_per_sec": shots / unpacked_seconds,
+                "errors": unpacked_errors,
+            },
+            "packed": {
+                "seconds": packed_seconds,
+                "shots_per_sec": shots / packed_seconds,
+                "errors": packed_errors,
+            },
+        },
+        "errors_identical": packed_errors == unpacked_errors,
+        "packed_speedup": unpacked_seconds / packed_seconds,
+    }
+
+    # Deployment-shaped leg: a multi-chunk budget through the collection
+    # engine's chunked scheduler (workers run the packed path).  Wall
+    # time includes pool spin-up and any per-worker compile, which is
+    # why it needs several chunks per worker to say anything.
+    task = Task(
+        circuit, decoder="compiled-matching", sampler=backend,
+        max_shots=shots * 8,
+    )
+    for pool_workers in (1, workers):
+        started = time.perf_counter()
+        stats = collect(
+            [task],
+            options=ExecutionOptions(
+                base_seed=seed, workers=pool_workers, chunk_shots=shots
+            ),
+        )[0]
+        wall = time.perf_counter() - started
+        result[f"engine_workers_{pool_workers}"] = {
+            "shots": stats.shots,
+            "errors": stats.errors,
+            "wall_seconds": wall,
+            "shots_per_sec": stats.shots / wall,
+            "sample_seconds": stats.sample_seconds,
+            "decode_seconds": stats.decode_seconds,
+        }
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--distance", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--p", type=float, default=0.002)
+    parser.add_argument("--shots", type=int, default=4096)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default="frame")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke sizing: fewer shots and repeats, same circuit",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json",
+        help="JSON output path ('' disables writing; default: repo root)",
+    )
+    parser.add_argument(
+        "--min-packed-speedup", type=float, default=None,
+        help="exit nonzero unless packed/unpacked >= this ratio",
+    )
+    args = parser.parse_args(argv)
+    if args.fast:
+        args.shots = min(args.shots, 2048)
+        args.repeats = min(args.repeats, 3)
+
+    result = run_bench(
+        args.distance, args.rounds, args.p, args.shots, args.repeats,
+        args.seed, args.backend, args.workers,
+    )
+
+    meta = result["circuit"]
+    print(f"d={meta['distance']} surface-code memory "
+          f"({meta['n_detectors']} detectors, p={meta['p']}), "
+          f"{args.shots} shots/batch, backend={args.backend}, "
+          f"best of {args.repeats}")
+    print(f"{'pipeline':<20} {'seconds':>9} {'shots/sec':>12} {'errors':>7}")
+    for name in ("unpacked", "packed"):
+        row = result["serial"][name]
+        print(f"serial {name:<13} {row['seconds']:>9.4f} "
+              f"{row['shots_per_sec']:>12,.0f} {row['errors']:>7}")
+    for key in sorted(k for k in result if k.startswith("engine_workers_")):
+        row = result[key]
+        print(f"{key:<20} {row['wall_seconds']:>9.4f} "
+              f"{row['shots_per_sec']:>12,.0f} {row['errors']:>7}")
+    print(f"packed end-to-end speedup: {result['packed_speedup']:.2f}x "
+          f"(errors identical: {result['errors_identical']})")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.out}")
+
+    if not result["errors_identical"]:
+        print("FAIL: packed and unpacked error counts diverge")
+        return 1
+    if (
+        args.min_packed_speedup is not None
+        and result["packed_speedup"] < args.min_packed_speedup
+    ):
+        print(f"FAIL: packed speedup below required "
+              f"{args.min_packed_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

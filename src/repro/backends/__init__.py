@@ -32,7 +32,12 @@ Selecting by name::
     detectors, observables = sampler.sample_detectors(10_000, rng)
 """
 
-from repro.backends.protocol import BackendInfo, Sampler
+from repro.backends.protocol import (
+    BackendInfo,
+    Sampler,
+    pack_detector_samples,
+    packed_detector_samples,
+)
 from repro.backends.registry import (
     Backend,
     available_backends,
@@ -52,6 +57,8 @@ __all__ = [
     "canonical_name",
     "compile_backend",
     "get_backend",
+    "pack_detector_samples",
+    "packed_detector_samples",
     "register_backend",
 ]
 
@@ -88,6 +95,7 @@ register_backend(
             "packed record buffer, no per-qubit dispatch)"
         ),
         rng_stream="frame",
+        packed_native=True,
     ),
     _compile_frame,
 )
@@ -101,6 +109,7 @@ register_backend(
         ),
         rng_stream="frame",
         compile_once=False,
+        packed_native=True,
     ),
     _compile_frame_interp,
 )

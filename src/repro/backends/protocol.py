@@ -37,6 +37,54 @@ class Sampler(Protocol):
         """(detectors, observables) uint8 arrays of shape (shots, n)."""
         ...
 
+    def sample_detectors_packed(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(detectors, observables) as packed uint64 matrices.
+
+        The packed wire format: shot-major rows — shape
+        ``(shots, words_for(n_detectors))`` and
+        ``(shots, words_for(n_observables))`` — little-endian bit order
+        within each uint64 word (bit ``i`` of a row is word ``i // 64``,
+        position ``i % 64``), padding bits beyond the logical width all
+        zero.  Must consume the RNG exactly like ``sample_detectors``,
+        so the two views of one seed are bit-for-bit the same sample.
+        """
+        ...
+
+
+def pack_detector_samples(
+    sampler: Sampler, shots: int, rng: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generic pack-adapter: unpacked ``sample_detectors`` + row packing.
+
+    Backends whose samplers do not natively work in the packed domain
+    (the per-shot tableau oracle, the symbolic Eq. 4 sampler) implement
+    ``sample_detectors_packed`` with this helper; it consumes the RNG
+    identically to the unpacked call by construction.
+    """
+    from repro.gf2.bitops import pack_rows
+
+    detectors, observables = sampler.sample_detectors(shots, rng)
+    return pack_rows(detectors), pack_rows(observables)
+
+
+def packed_detector_samples(
+    sampler: Sampler, shots: int, rng: int | np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Packed samples from *any* sampler, old-protocol ones included.
+
+    Calls ``sample_detectors_packed`` when the sampler answers it and
+    falls back to the :func:`pack_detector_samples` adapter otherwise,
+    so externally registered samplers that predate the packed protocol
+    keep working everywhere the engine and study layers sample packed
+    (identical RNG draws either way).
+    """
+    native = getattr(sampler, "sample_detectors_packed", None)
+    if native is not None:
+        return native(shots, rng)
+    return pack_detector_samples(sampler, shots, rng)
+
 
 @dataclass(frozen=True)
 class BackendInfo:
@@ -52,6 +100,13 @@ class BackendInfo:
     shots and ``"shot"`` when every shot is a full circuit traversal
     (the tableau oracle).  ``oracle`` marks backends meant for
     validation rather than production collection sweeps.
+
+    ``packed_native`` means ``sample_detectors_packed`` never
+    materializes unpacked uint8 matrices (the frame backends derive
+    detectors in the packed domain end to end); ``False`` means the
+    generic :func:`pack_detector_samples` adapter packs an unpacked
+    sample.  Either way the packed and unpacked views of one seed are
+    bitwise the same sample.
     """
 
     name: str
@@ -61,3 +116,4 @@ class BackendInfo:
     rng_stream: str | None = None
     supports_feedback: bool = True
     oracle: bool = False
+    packed_native: bool = False

@@ -165,6 +165,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         if info.compile_once:
             flags.append("compile-once")
         flags.append(f"cost:per-{info.per_shot_cost}")
+        if info.packed_native:
+            flags.append("packed-native")
         if not info.supports_feedback:
             flags.append("no-feedback")
         if info.oracle:
@@ -181,6 +183,8 @@ def _cmd_decoders(args: argparse.Namespace) -> int:
             flags.append("compile-once")
         if info.batched:
             flags.append("batched")
+        if info.packed:
+            flags.append("packed")
         if info.graphlike_only:
             flags.append("graphlike-only")
         if info.exact:
@@ -290,6 +294,41 @@ def _sweep_from_args(args: argparse.Namespace):
     )
 
 
+def _print_profile(results) -> None:
+    """Per-stage time breakdown from the stats workers already stream.
+
+    ``sample``/``decode`` are the in-worker hot stages, ``setup/agg``
+    is everything else the workers spent (first-chunk compiles, cache
+    lookups, counting),
+    and ``pool overhead`` is wall time not covered by busy time spread
+    over the chunks (scheduling, result pickling, pool spin-up).
+    Resumed rows carry no fresh timings and are skipped.
+    """
+    fresh = [stats for stats in results if not stats.resumed]
+    if not fresh:
+        print("profile: every task resumed from the store; nothing timed")
+        return
+    shots = sum(s.shots for s in fresh)
+    wall = sum(s.seconds for s in fresh)
+    busy = sum(s.worker_seconds for s in fresh)
+    sample = sum(s.sample_seconds for s in fresh)
+    decode = sum(s.decode_seconds for s in fresh)
+    aggregate = max(busy - sample - decode, 0.0)
+    # Busy time is summed across workers, so on a pool it can exceed
+    # wall; overhead is only meaningful as the wall time left over.
+    overhead = max(wall - busy, 0.0)
+    print(f"profile ({len(fresh)} task(s), {shots} shots, "
+          f"{wall:.2f}s wall, {busy:.2f}s worker-busy):")
+    for label, value in (
+        ("sample", sample),
+        ("decode", decode),
+        ("setup/agg", aggregate),
+    ):
+        share = value / busy if busy else 0.0
+        print(f"  {label:<14} {value:>8.2f}s  {share:>6.1%} of worker-busy")
+    print(f"  {'pool overhead':<14} {overhead:>8.2f}s  (wall - worker-busy)")
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
     from repro.study import ExecutionOptions, run
 
@@ -318,7 +357,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             f"[{low:.3e}, {high:.3e}] {tag:>8}"
         )
 
-    run(
+    result = run(
         tasks,
         ExecutionOptions(
             base_seed=args.seed,
@@ -328,6 +367,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             progress=report,
         ),
     )
+    if args.profile:
+        _print_profile(result.stats)
     return 0
 
 
@@ -438,6 +479,13 @@ def main(argv: list[str] | None = None) -> int:
     collect_parser.add_argument(
         "--out", default=None,
         help="JSONL result store path (enables resume)",
+    )
+    collect_parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print a per-stage time breakdown (sample / decode / "
+            "aggregate / pool overhead) from the workers' chunk timings"
+        ),
     )
 
     args = parser.parse_args(argv)

@@ -150,6 +150,20 @@ class CompiledSampler:
         both = self._sample_rows(self._derived(), shots, rng, strategy)
         return both[:, : self.n_detectors], both[:, self.n_detectors:]
 
+    def sample_detectors_packed(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed (detectors, observables), shot-major uint64 rows.
+
+        Via the generic pack-adapter: the detector/observable split is a
+        bit-level column slice of the stacked Eq. 4 product, which is
+        not word-aligned in general, so this backend samples unpacked
+        and packs — identical RNG consumption either way.
+        """
+        from repro.backends.protocol import pack_detector_samples
+
+        return pack_detector_samples(self, shots, rng)
+
     def _sample_rows(
         self,
         matrix: np.ndarray,

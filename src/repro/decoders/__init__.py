@@ -122,6 +122,7 @@ register_decoder(
         ),
         graphlike_only=True,
         batched=True,
+        packed=True,
     ),
     _compile_compiled_matching,
     aliases=("cmwpm", "batch-matching"),

@@ -20,6 +20,12 @@ compiled decoder does all path-finding at **compile time** instead:
   matching over the NetworkX graph survives only as the fallback for
   very large defect sets, unreachable pairs, and weight ties.
 
+Both batch entry points — unpacked ``decode_batch`` and the packed-wire
+``decode_batch_packed`` — reduce their unique rows to one CSR-style
+defect view and share a single decode core, so the packed path (zero-row
+short-circuit, void-view dedupe, defect extraction straight from the
+uint64 words) predicts bit-for-bit what the unpacked path predicts.
+
 Predictions are bitwise identical to :class:`MatchingDecoder`: the CSR
 Dijkstra mirrors NetworkX's traversal exactly (same strictly-improving
 relaxation, insertion-order tie-breaking on equal distances, adjacency
@@ -39,11 +45,20 @@ import numpy as np
 
 from repro.decoders.matching import BOUNDARY, build_decoding_graph, dedupe_rows
 from repro.dem.model import DetectorErrorModel
+from repro.gf2 import bitops
 
 # Defect sets with more nodes than this fall back to blossom matching:
-# the pairing count (k-1)!! reaches 945 at k=10 — still one cheap
-# vectorized reduction — but grows factorially beyond.
-_MAX_ENUM_NODES = 10
+# the pairing count (k-1)!! reaches 10395 at k=12 — still one cheap
+# vectorized reduction per row slab — but grows factorially beyond.
+# (Each per-row blossom call costs ~ms of Python/NetworkX work, so at
+# QEC-relevant rates the k=11..12 tail dominated whole-batch decoding
+# when the ceiling sat at 10.)
+_MAX_ENUM_NODES = 12
+# Bound on elements materialized per enumeration slab, so one dense
+# defect-count group cannot blow up memory.  The largest intermediate
+# is the pre-sum gather of shape (rows, pairings, padded/2): 4M float64
+# ~= 32 MB.
+_ENUM_SLAB_ELEMENTS = 1 << 22
 # Two pairings closer than this in total weight are treated as tied;
 # float noise across differently-ordered sums is ~1e-13 at QEC weight
 # scales, while mathematically distinct totals differ by far more.
@@ -140,21 +155,71 @@ class CompiledMatchingDecoder:
         if syndromes.shape[0] == 0:
             return out
         unique, inverse = dedupe_rows(syndromes)
-        decoded = np.zeros((unique.shape[0], self.n_observables), np.uint8)
-        counts = unique.sum(axis=1)
+        rows, flat = np.nonzero(unique)
+        counts = np.bincount(rows, minlength=unique.shape[0])
+        decoded = self._decode_unique(counts, flat)
+        return decoded[inverse]
+
+    def decode_batch_packed(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode packed syndromes; returns packed predictions.
+
+        Input and output use the packed wire format: shot-major uint64
+        rows — ``(shots, words_for(n_detectors))`` in,
+        ``(shots, words_for(n_observables))`` out — little-endian bit
+        order, padding bits zero.  All-zero rows (the bulk at low
+        physical error rates) short-circuit before dedupe, the surviving
+        rows dedupe through a contiguous void view, and defect indices
+        come straight from the nonzero words.  The unique rows then run
+        the same decode core as :meth:`decode_batch`, so predictions are
+        bitwise identical to packing that method's output.
+        """
+        syndromes = np.asarray(syndromes, dtype=np.uint64)
+        n_words = bitops.words_for(self.n_detectors)
+        if syndromes.ndim != 2 or syndromes.shape[1] != n_words:
+            raise ValueError(
+                f"expected packed syndromes of shape (shots, {n_words}), "
+                f"got {syndromes.shape}"
+            )
+        out = np.zeros(
+            (syndromes.shape[0], bitops.words_for(self.n_observables)),
+            dtype=np.uint64,
+        )
+        nonzero = bitops.nonzero_rows_packed(syndromes)
+        if nonzero.size == 0:
+            return out
+        unique, inverse = bitops.dedupe_rows_packed(syndromes[nonzero])
+        rows, flat = bitops.nonzero_bits(unique)
+        counts = np.bincount(rows, minlength=unique.shape[0])
+        decoded = self._decode_unique(counts, flat)
+        out[nonzero] = bitops.pack_rows(decoded)[inverse]
+        return out
+
+    def _decode_unique(
+        self, counts: np.ndarray, flat: np.ndarray
+    ) -> np.ndarray:
+        """Decode deduplicated syndromes given per-row defect counts and
+        the flat (row-major, ascending) defect index stream.
+
+        The shared core of the packed and unpacked batch paths: both
+        reduce their unique rows to this CSR-style view, so their
+        predictions agree bit for bit by construction.
+        """
+        offsets = np.zeros(counts.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        decoded = np.zeros((counts.size, self.n_observables), np.uint8)
 
         # One defect matches to the boundary, two defects to each other:
         # both are a single precomputed pair — pure array gathers.
         (one,) = np.nonzero(counts == 1)
         if one.size:
-            defect = np.nonzero(unique[one])[1]
+            defect = flat[offsets[one]]
             finite = np.isfinite(self._dist[defect, self._boundary])
             decoded[one[finite]] = self._mask[
                 defect[finite], self._boundary
             ]
         (two,) = np.nonzero(counts == 2)
         if two.size:
-            pairs = np.nonzero(unique[two])[1].reshape(-1, 2)
+            pairs = flat[offsets[two][:, None] + np.arange(2)]
             finite = np.isfinite(self._dist[pairs[:, 0], pairs[:, 1]])
             decoded[two[finite]] = self._mask[
                 pairs[finite, 0], pairs[finite, 1]
@@ -163,15 +228,18 @@ class CompiledMatchingDecoder:
         # Three or more defects: enumerate perfect pairings per
         # defect-count group, vectorized over all rows of the group.
         for padded in range(4, _MAX_ENUM_NODES + 2, 2):
-            self._enumerate_group(unique, counts, padded, decoded)
+            self._enumerate_group(counts, offsets, flat, padded, decoded)
         for row in np.nonzero(counts > _MAX_ENUM_NODES)[0]:
-            decoded[row] = self._match(np.nonzero(unique[row])[0])
-        return decoded[inverse]
+            decoded[row] = self._match(
+                flat[offsets[row]: offsets[row] + counts[row]]
+            )
+        return decoded
 
     def _enumerate_group(
         self,
-        unique: np.ndarray,
         counts: np.ndarray,
+        offsets: np.ndarray,
+        flat: np.ndarray,
         padded: int,
         decoded: np.ndarray,
     ) -> None:
@@ -179,21 +247,44 @@ class CompiledMatchingDecoder:
         groups = []
         (odd,) = np.nonzero(counts == padded - 1)
         if odd.size:
-            defects = np.nonzero(unique[odd])[1].reshape(-1, padded - 1)
+            defects = flat[offsets[odd][:, None] + np.arange(padded - 1)]
             boundary = np.full((odd.size, 1), self._boundary, np.int64)
             groups.append((odd, np.hstack([defects, boundary])))
         (even,) = np.nonzero(counts == padded)
         if even.size:
             groups.append(
-                (even, np.nonzero(unique[even])[1].reshape(-1, padded))
+                (even, flat[offsets[even][:, None] + np.arange(padded)])
             )
         if not groups:
             return
         rows = np.concatenate([g[0] for g in groups])
         nodes = np.concatenate([g[1] for g in groups])
 
-        dist = self._dist[nodes[:, :, None], nodes[:, None, :]]
         pairings = _pairings(padded)
+        # Slab the group so the (rows, pairings, pairs-per-pairing)
+        # gather stays memory-bounded; rows are independent, so
+        # slabbing cannot change any prediction.
+        slab = max(
+            1,
+            _ENUM_SLAB_ELEMENTS // (pairings.shape[0] * pairings.shape[1]),
+        )
+        for start in range(0, rows.size, slab):
+            self._enumerate_slab(
+                rows[start:start + slab],
+                nodes[start:start + slab],
+                pairings,
+                decoded,
+            )
+
+    def _enumerate_slab(
+        self,
+        rows: np.ndarray,
+        nodes: np.ndarray,
+        pairings: np.ndarray,
+        decoded: np.ndarray,
+    ) -> None:
+        """Vectorized minimum-weight pairing for one slab of rows."""
+        dist = self._dist[nodes[:, :, None], nodes[:, None, :]]
         totals = dist[:, pairings[:, :, 0], pairings[:, :, 1]].sum(axis=2)
         span = np.arange(rows.size)
         best_index = totals.argmin(axis=1)

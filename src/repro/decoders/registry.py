@@ -42,6 +42,11 @@ class DecoderInfo:
     ``batched`` — ``decode_batch`` is vectorized across shots rather
     than a Python loop over ``decode``.
 
+    ``packed`` — the decoder answers ``decode_batch_packed``: packed
+    uint64 syndromes in, packed predictions out, bitwise identical to
+    packing ``decode_batch``'s output.  The engine's hot path routes
+    through it when set, never materializing unpacked uint8 matrices.
+
     ``exact`` — maximum-likelihood over the mechanisms it enumerates
     (the lookup table), as opposed to the matching approximation.
 
@@ -53,6 +58,7 @@ class DecoderInfo:
     description: str
     graphlike_only: bool = False
     batched: bool = False
+    packed: bool = False
     exact: bool = False
     compile_once: bool = True
 

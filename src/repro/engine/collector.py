@@ -33,7 +33,14 @@ from repro.engine.workers import ChunkRunner, plan_chunks
 
 @dataclass
 class TaskStats:
-    """Aggregated counts for one task (the engine's unit of reporting)."""
+    """Aggregated counts for one task (the engine's unit of reporting).
+
+    ``seconds`` is the task's wall-clock collection time;
+    ``worker_seconds`` sums the chunks' in-worker time (across all
+    workers, so it can exceed wall time on a pool), and
+    ``sample_seconds`` / ``decode_seconds`` split that busy time into
+    the two hot stages — the numbers behind ``repro collect --profile``.
+    """
 
     task_id: str
     decoder: str
@@ -45,6 +52,9 @@ class TaskStats:
     chunks: int = 0
     base_seed: int | None = None
     resumed: bool = False
+    worker_seconds: float = 0.0
+    sample_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
     @property
     def error_rate(self) -> float:
@@ -76,6 +86,9 @@ class TaskStats:
             chunks=int(row.get("chunks", 0)),
             base_seed=row.get("base_seed"),
             resumed=True,
+            worker_seconds=float(row.get("worker_seconds", 0.0)),
+            sample_seconds=float(row.get("sample_seconds", 0.0)),
+            decode_seconds=float(row.get("decode_seconds", 0.0)),
         )
 
 
@@ -250,6 +263,9 @@ def _collect_one(
         stats.shots += result.shots
         stats.errors += result.errors
         stats.chunks += 1
+        stats.worker_seconds += result.seconds
+        stats.sample_seconds += result.sample_seconds
+        stats.decode_seconds += result.decode_seconds
         if max_errors is not None and stats.errors >= max_errors:
             break
     stats.seconds = time.perf_counter() - wall_start

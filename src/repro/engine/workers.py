@@ -16,12 +16,16 @@ later chunk is pure Eq. 4 sampling + decoding.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.engine.cache import shared_cache
 from repro.engine.tasks import Task
+from repro.gf2 import bitops
 from repro.rng import chunk_generator
 
 
@@ -42,13 +46,21 @@ class ChunkSpec:
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """Counts streamed back from a worker for one chunk."""
+    """Counts streamed back from a worker for one chunk.
+
+    ``seconds`` is the chunk's whole in-worker time;
+    ``sample_seconds`` / ``decode_seconds`` split out the two hot
+    stages (the remainder is setup + aggregation), so per-stage
+    profiles (``repro collect --profile``) come free with every run.
+    """
 
     task_id: str
     chunk_index: int
     shots: int
     errors: int
     seconds: float
+    sample_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
 
 def plan_chunks(
@@ -107,11 +119,32 @@ def _build_decoder(spec: ChunkSpec, circuit):
     return compile_decoder(dem, spec.decoder)
 
 
+def _decoder_is_packed(name: str) -> bool:
+    from repro.decoders import get_decoder
+
+    return get_decoder(name).info.packed
+
+
+def _sample_packed(sampler, shots: int, rng):
+    from repro.backends.protocol import packed_detector_samples
+
+    return packed_detector_samples(sampler, shots, rng)
+
+
 def run_chunk(spec: ChunkSpec) -> ChunkResult:
     """Sample + decode one chunk (runs in a worker or in-process).
 
     Reproducible in isolation: the RNG is seeded purely from the spec's
     ``(base_seed, task_entropy, chunk_index)`` triple.
+
+    The hot path stays in the packed domain end to end whenever the
+    decoder speaks it (or there is no decoder): packed syndromes from
+    ``sample_detectors_packed`` flow into ``decode_batch_packed``, and
+    the error count is a row-any over ``predictions XOR observables`` —
+    no unpacked uint8 matrix is ever materialized.  Counts are bitwise
+    identical to the unpacked path because the packed and unpacked views
+    draw the same RNG stream and the packed decoder predicts
+    identically; unpacked-only decoders take the original route.
     """
     from repro.circuit.circuit import Circuit
 
@@ -126,23 +159,56 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
         lambda: _build_sampler(spec, circuit),
     )
     rng = chunk_generator(spec.base_seed, spec.task_entropy, spec.chunk_index)
-    detectors, observables = sampler.sample_detectors(spec.shots, rng)
+    decode_seconds = 0.0
     if spec.decoder == "none":
-        errors = int(observables.any(axis=1).sum())
-    else:
+        sample_started = time.perf_counter()
+        _, observables = _sample_packed(sampler, spec.shots, rng)
+        sample_seconds = time.perf_counter() - sample_started
+        errors = int(bitops.nonzero_rows_packed(observables).size)
+    elif _decoder_is_packed(spec.decoder):
+        sample_started = time.perf_counter()
+        detectors, observables = _sample_packed(sampler, spec.shots, rng)
+        sample_seconds = time.perf_counter() - sample_started
         decoder = cache.get_or_build(
             ("decoder", spec.fingerprint, spec.decoder),
             lambda: _build_decoder(spec, circuit),
         )
+        decode_started = time.perf_counter()
+        predictions = decoder.decode_batch_packed(detectors)
+        errors = int(
+            np.count_nonzero(bitops.xor_rows_any(predictions, observables))
+        )
+        decode_seconds = time.perf_counter() - decode_started
+    else:
+        sample_started = time.perf_counter()
+        detectors, observables = sampler.sample_detectors(spec.shots, rng)
+        sample_seconds = time.perf_counter() - sample_started
+        decoder = cache.get_or_build(
+            ("decoder", spec.fingerprint, spec.decoder),
+            lambda: _build_decoder(spec, circuit),
+        )
+        decode_started = time.perf_counter()
         predictions = decoder.decode_batch(detectors)
         errors = int((predictions != observables).any(axis=1).sum())
+        decode_seconds = time.perf_counter() - decode_started
     return ChunkResult(
         task_id=spec.task_id,
         chunk_index=spec.chunk_index,
         shots=spec.shots,
         errors=errors,
         seconds=time.perf_counter() - started,
+        sample_seconds=sample_seconds,
+        decode_seconds=decode_seconds,
     )
+
+
+def _indexed_run_chunk(
+    indexed_spec: tuple[int, ChunkSpec],
+) -> tuple[int, ChunkResult]:
+    """Pool target: tag each result with its submission index so the
+    order-restoring buffer can reassemble the deterministic stream."""
+    index, spec = indexed_spec
+    return index, run_chunk(spec)
 
 
 class ChunkRunner:
@@ -158,6 +224,8 @@ class ChunkRunner:
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
         self._pool = None
+        self._feeder_stop: threading.Event | None = None
+        self._feeder_slots: threading.Semaphore | None = None
 
     def __enter__(self) -> "ChunkRunner":
         if self.workers > 1:
@@ -168,32 +236,95 @@ class ChunkRunner:
             self._pool = context.Pool(processes=self.workers)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
         if self._pool is not None:
-            self._pool.terminate()
+            self._release_feeder()
+            if exc_type is None:
+                # Clean shutdown: let in-flight chunks finish so forked
+                # children flush coverage data and never die holding a
+                # half-written sampler-cache entry.
+                self._pool.close()
+            else:
+                self._pool.terminate()
             self._pool.join()
             self._pool = None
+
+    def _release_feeder(self) -> None:
+        """Unblock the active run's feeder so close/join cannot hang on
+        its in-flight-window semaphore."""
+        if self._feeder_stop is not None:
+            self._feeder_stop.set()
+            if self._feeder_slots is not None:
+                self._feeder_slots.release()
+            self._feeder_stop = None
+            self._feeder_slots = None
 
     def run(self, specs: Iterable[ChunkSpec]) -> Iterator[ChunkResult]:
         """Yield results in chunk-submission order.
 
-        Pooled execution submits in waves of ``2 * workers`` chunks and
-        yields each wave's results in order, so downstream aggregation
-        sees the same stream serial execution produces — and a consumer
-        that stops early (max-errors reached) wastes at most one wave of
-        speculative work instead of the task's whole remaining budget
-        (``Pool.imap``'s feeder thread would eagerly submit everything).
+        Pooled execution streams chunks through ``imap_unordered`` with
+        a bounded in-flight window of ``2 * workers`` and an
+        order-restoring reorder buffer, so downstream aggregation sees
+        the same deterministic stream serial execution produces while a
+        slow chunk never barriers its peers — the old wave scheduler
+        made up to ``2 * workers - 1`` finished workers idle at every
+        wave edge.  The window doubles as the speculative-overrun bound
+        the max-errors early stop relies on: a consumer that stops
+        early wastes at most one window of work (``Pool.imap``'s feeder
+        thread would eagerly submit the task's whole remaining budget).
+
+        One pooled run at a time: the pool drains one task stream fully
+        before the next, so close (or exhaust) a run's iterator before
+        starting another — abandoning it to the garbage collector also
+        works, which is what a ``for``-loop ``break`` does.
         """
         if self._pool is None:
             for spec in specs:
                 yield run_chunk(spec)
             return
-        wave_size = 2 * self.workers
-        wave: list[ChunkSpec] = []
-        for spec in specs:
-            wave.append(spec)
-            if len(wave) == wave_size:
-                yield from self._pool.map(run_chunk, wave, chunksize=1)
-                wave = []
-        if wave:
-            yield from self._pool.map(run_chunk, wave, chunksize=1)
+        window = 2 * self.workers
+        # The pool's task-handler thread pulls from this generator; the
+        # semaphore blocks it once `window` chunks are in flight, and
+        # each consumed result releases one slot.  The stop event makes
+        # an abandoned run (early stop) drain instead of deadlocking
+        # the handler thread against a full window.
+        slots = threading.Semaphore(window)
+        stop = threading.Event()
+        self._feeder_stop = stop
+        self._feeder_slots = slots
+
+        def feed() -> Iterator[tuple[int, ChunkSpec]]:
+            for indexed in enumerate(specs):
+                slots.acquire()
+                if stop.is_set():
+                    return
+                yield indexed
+
+        reorder: dict[int, ChunkResult] = {}
+        next_index = 0
+        try:
+            for index, result in self._pool.imap_unordered(
+                _indexed_run_chunk, feed()
+            ):
+                reorder[index] = result
+                # A slot is freed only when its result is *yielded*, not
+                # when it lands in the reorder buffer: results parked
+                # behind a slow head-of-line chunk keep holding slots,
+                # so (running + buffered) never exceeds the window and
+                # the early-stop overrun bound is strict, not
+                # best-effort.  No deadlock: the feeder submits in
+                # order, so the chunk `next_index` waits for is always
+                # already in flight or buffered.
+                while next_index in reorder:
+                    yield reorder.pop(next_index)
+                    next_index += 1
+                    slots.release()
+        finally:
+            # Close over this run's own primitives: an abandoned older
+            # generator being finalized must never trip a newer run's
+            # stop event or semaphore.
+            stop.set()
+            slots.release()
+            if self._feeder_stop is stop:
+                self._feeder_stop = None
+                self._feeder_slots = None

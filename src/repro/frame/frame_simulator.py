@@ -130,7 +130,9 @@ class FrameSimulator:
         if packed.shape[0] == 0:
             return np.zeros((shots, 0), dtype=np.uint8)
         flips = bitops.unpack_rows(packed, shots).T  # (shots, n_m)
-        return flips ^ self.reference[None, :]
+        # The transpose is F-ordered and the XOR ufunc preserves that
+        # layout; force C order so row-wise consumers get dense rows.
+        return np.ascontiguousarray(flips ^ self.reference[None, :])
 
     def sample_detectors(
         self, shots: int, rng: int | np.random.Generator | None = None
@@ -147,11 +149,44 @@ class FrameSimulator:
                                    self._observable_reference, shots)
         return detectors, observables
 
+    def sample_detectors_packed(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed detector and observable samples, shot-major.
+
+        The fully packed-domain path: derived rows are XORs of packed
+        record rows, the shot-major layout comes from a bit-level
+        transpose, and the constant reference parity is one packed-row
+        XOR — no uint8 matrix is ever materialized.  Consumes the RNG
+        exactly like :meth:`sample_detectors` (one
+        ``sample_packed_flips`` draw), so for any seed
+        ``unpack_rows(packed_view) == unpacked_view`` bitwise.
+        """
+        packed = self.sample_packed_flips(shots, rng)
+        detectors = self._derive_packed(packed, self.detectors,
+                                        self._detector_reference, shots)
+        observables = self._derive_packed(packed, self.observables,
+                                          self._observable_reference, shots)
+        return detectors, observables
+
     @staticmethod
     def _derive(packed, index_lists, reference_parity, shots) -> np.ndarray:
         derived = bitops.xor_select_rows(packed, index_lists)
         bits = bitops.unpack_rows(derived, shots).T  # (shots, n_rows)
-        return bits ^ reference_parity[None, :]
+        # Force C order: the transposed unpack is F-ordered and the XOR
+        # preserves input layout, but consumers iterate rows (shots).
+        return np.ascontiguousarray(bits ^ reference_parity[None, :])
+
+    @staticmethod
+    def _derive_packed(packed, index_lists, reference_parity, shots):
+        from repro.gf2.transpose import transpose_bitmatrix
+
+        derived = bitops.xor_select_rows(packed, index_lists)
+        shot_major = transpose_bitmatrix(derived, len(index_lists), shots)
+        reference = bitops.pack_bits(reference_parity)
+        if reference.size:
+            shot_major ^= reference[None, :]
+        return shot_major
 
     # -- interpreted mode ------------------------------------------------
 

@@ -107,6 +107,98 @@ def popcount(words: np.ndarray) -> np.ndarray:
     return np.bitwise_count(words)
 
 
+def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    """Set-bit count of every row of a packed matrix (int64 vector).
+
+    Correct only under the packing invariant that padding bits (bits at
+    or beyond the logical column count) are zero — every producer in
+    this package maintains it.
+    """
+    matrix = np.asarray(matrix, dtype=_U64)
+    if matrix.ndim != 2:
+        raise ValueError("popcount_rows expects a 2-D packed matrix")
+    return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+
+def nonzero_rows_packed(matrix: np.ndarray) -> np.ndarray:
+    """Indices of the rows of a packed matrix with any bit set.
+
+    The hot-path zero-row short-circuit: at QEC-relevant error rates a
+    sizable fraction of syndromes is all-zero and can skip dedupe and
+    decoding entirely.
+    """
+    matrix = np.asarray(matrix, dtype=_U64)
+    if matrix.ndim != 2:
+        raise ValueError("nonzero_rows_packed expects a 2-D packed matrix")
+    return np.flatnonzero(matrix.any(axis=1))
+
+
+def dedupe_rows_packed(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique rows of a packed matrix plus the flat inverse gather.
+
+    The packed counterpart of
+    :func:`repro.decoders.matching.dedupe_rows`: each row is viewed as
+    one contiguous void scalar (``n_words * 8`` bytes), so ``np.unique``
+    sorts fixed-width byte strings instead of lexsorting unpacked
+    columns — same unique *set*, far less data moved.  The unique rows
+    are returned in void-sort order, which differs from the unpacked
+    column-lexicographic order; callers must treat row order as
+    arbitrary (per-row decoding does).
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=_U64)
+    if matrix.ndim != 2:
+        raise ValueError("dedupe_rows_packed expects a 2-D packed matrix")
+    n_rows, n_words = matrix.shape
+    if n_words == 0:
+        # Every zero-width row is identical: one unique row if any.
+        unique = matrix[: min(n_rows, 1)]
+        return unique, np.zeros(n_rows, dtype=np.int64)
+    voided = matrix.view(np.dtype((np.void, n_words * 8)))[:, 0]
+    unique, inverse = np.unique(voided, return_inverse=True)
+    return (
+        unique.view(_U64).reshape(-1, n_words),
+        np.asarray(inverse).reshape(-1),
+    )
+
+
+def xor_rows_any(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row "does ``a`` XOR ``b`` have any set bit" (bool vector).
+
+    With ``a`` and ``b`` packed matrices of the same shape this answers
+    "which rows differ" — the packed error count is
+    ``np.count_nonzero(xor_rows_any(predictions, observables))`` with no
+    uint8 matrices ever materialized.
+    """
+    a = np.asarray(a, dtype=_U64)
+    b = np.asarray(b, dtype=_U64)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError("xor_rows_any expects two equal-shape packed matrices")
+    return (a != b).any(axis=1)
+
+
+def nonzero_bits(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Set-bit coordinates of a packed matrix: ``(row_indices, bit_indices)``.
+
+    The packed counterpart of ``np.nonzero`` on the unpacked matrix
+    (same ordering: row-major, bits ascending within a row), touching
+    only the nonzero *words*: each one expands through a little-endian
+    byte view, so cost scales with the number of set words, not with
+    the unpacked width.
+    """
+    matrix = np.asarray(matrix, dtype=_U64)
+    if matrix.ndim != 2:
+        raise ValueError("nonzero_bits expects a 2-D packed matrix")
+    rows, words = np.nonzero(matrix)
+    if rows.size == 0:
+        return rows, words
+    values = np.ascontiguousarray(matrix[rows, words])
+    bits = np.unpackbits(
+        values[:, None].view(np.uint8), axis=1, bitorder="little"
+    )
+    word_row, bit_position = np.nonzero(bits)
+    return rows[word_row], words[word_row] * WORD_BITS + bit_position
+
+
 def parity_words(words: np.ndarray, axis: int | None = None) -> np.ndarray:
     """Overall GF(2) parity of the set bits (optionally along ``axis``)."""
     counts = np.bitwise_count(np.asarray(words, dtype=_U64))

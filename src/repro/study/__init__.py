@@ -9,7 +9,8 @@ small composable objects:
     ``Circuit.compile(sampler=..., decoder=...)`` — one handle that
     lazily builds and caches the backend sampler, the merged DEM and
     the compiled decoder, with ``.sample()``, ``.detect()``,
-    ``.decode()`` and ``.logical_error_rate()``.
+    ``.decode()``, their packed-domain twins ``.detect_packed()`` /
+    ``.decode_packed()`` and ``.logical_error_rate()``.
 :class:`Sweep`
     A declarative (code x distance x probability x ...) grid of engine
     tasks with consistent metadata, plus ``.add_task()`` for custom

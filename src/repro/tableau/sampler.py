@@ -56,6 +56,15 @@ class TableauSampler:
             self._derive(records, self.observables),
         )
 
+    def sample_detectors_packed(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed (detectors, observables) via the generic pack-adapter
+        (per-shot simulation has no packed-native representation)."""
+        from repro.backends.protocol import pack_detector_samples
+
+        return pack_detector_samples(self, shots, rng)
+
     @staticmethod
     def _derive(records: np.ndarray, index_lists) -> np.ndarray:
         out = np.zeros((records.shape[0], len(index_lists)), dtype=np.uint8)

@@ -11,6 +11,7 @@ from repro.backends import (
     canonical_name,
     compile_backend,
     get_backend,
+    pack_detector_samples,
     register_backend,
 )
 from repro.circuit import Circuit
@@ -88,6 +89,11 @@ class TestRegistry:
             def sample_detectors(self, shots, rng=None):
                 empty = np.zeros((shots, 0), dtype=np.uint8)
                 return empty, empty
+
+            def sample_detectors_packed(self, shots, rng=None):
+                # The protocol's packed view; the generic adapter turns
+                # an unpacked implementation into one.
+                return pack_detector_samples(self, shots, rng)
 
         def factory(circuit):
             calls.append(circuit)

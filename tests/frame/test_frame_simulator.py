@@ -120,3 +120,45 @@ class TestReference:
         ).sample(10, rng)
         assert np.array_equal(shifted[:, 0], base[:, 0] ^ 1)
         assert np.array_equal(shifted[:, 1], base[:, 1])
+
+
+class TestContiguity:
+    def test_sample_rows_are_c_contiguous(self, rng):
+        c = Circuit().x_error(0.1, 0).m(0, 1).m(0)
+        for shots in (1, 64, 130):
+            records = FrameSimulator(c).sample(shots, rng)
+            assert records.flags.c_contiguous, shots
+
+    def test_detector_rows_are_c_contiguous(self, rng):
+        c = Circuit().x_error(0.1, 0).mr(0).mr(0).detector(-1, -2)
+        c = c.observable_include(0, -1)
+        detectors, observables = FrameSimulator(c).sample_detectors(130, rng)
+        assert detectors.flags.c_contiguous
+        assert observables.flags.c_contiguous
+
+
+class TestPackedDetectors:
+    def test_packed_view_matches_unpacked_bitwise(self):
+        from repro.gf2 import bitops
+
+        c = Circuit().x_error(0.12, 0).mr(0).mr(0).detector(-1, -2)
+        c = c.observable_include(0, -1)
+        for mode in ("compiled", "interpreted"):
+            sim = FrameSimulator(c, mode=mode)
+            det, obs = sim.sample_detectors(333, np.random.default_rng(5))
+            det_p, obs_p = sim.sample_detectors_packed(
+                333, np.random.default_rng(5)
+            )
+            assert det_p.dtype == np.uint64
+            assert np.array_equal(bitops.pack_rows(det), det_p), mode
+            assert np.array_equal(bitops.pack_rows(obs), obs_p), mode
+
+    def test_packed_reference_parity_applied(self):
+        """A deterministically-firing detector must fire in the packed
+        view too (the constant reference parity is XORed in packed)."""
+        c = Circuit().x(0).m(0).detector(-1)
+        sim = FrameSimulator(c)
+        det_p, _ = sim.sample_detectors_packed(70, np.random.default_rng(0))
+        from repro.gf2 import bitops
+
+        assert bitops.unpack_rows(det_p, 1).all()

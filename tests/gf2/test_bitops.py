@@ -208,3 +208,81 @@ class TestXorSelectRows:
             assert np.array_equal(
                 bitops.unpack_rows(out[i:i + 1], n_cols)[0], expected
             )
+
+
+class TestPackedRowKernels:
+    @staticmethod
+    def random_rows(seed, n_rows=40, n_bits=150, p=0.03):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n_rows, n_bits)) < p).astype(np.uint8)
+        dense[rng.integers(0, n_rows, size=n_rows // 4)] = 0  # zero rows
+        if n_rows >= 2:
+            dense[-1] = dense[0]  # guaranteed duplicate
+        return dense, bitops.pack_rows(dense)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_popcount_rows_matches_dense_sum(self, seed):
+        dense, packed = self.random_rows(seed)
+        assert np.array_equal(
+            bitops.popcount_rows(packed), dense.sum(axis=1, dtype=np.int64)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nonzero_rows_matches_dense_any(self, seed):
+        dense, packed = self.random_rows(seed)
+        assert np.array_equal(
+            bitops.nonzero_rows_packed(packed),
+            np.flatnonzero(dense.any(axis=1)),
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dedupe_matches_dense_unique_set(self, seed):
+        dense, packed = self.random_rows(seed)
+        unique, inverse = bitops.dedupe_rows_packed(packed)
+        # Reconstruction must be exact even though the unique-row order
+        # is the void-sort order, not the dense lexicographic order.
+        assert np.array_equal(unique[inverse], packed)
+        dense_unique = np.unique(dense, axis=0)
+        assert unique.shape[0] == dense_unique.shape[0]
+        assert np.array_equal(
+            np.unique(bitops.unpack_rows(unique, dense.shape[1]), axis=0),
+            dense_unique,
+        )
+
+    def test_dedupe_zero_width_and_empty(self):
+        empty = np.zeros((0, 3), dtype=np.uint64)
+        unique, inverse = bitops.dedupe_rows_packed(empty)
+        assert unique.shape == (0, 3) and inverse.size == 0
+        zero_width = np.zeros((5, 0), dtype=np.uint64)
+        unique, inverse = bitops.dedupe_rows_packed(zero_width)
+        assert unique.shape == (1, 0)
+        assert np.array_equal(inverse, np.zeros(5, dtype=np.int64))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_xor_rows_any_matches_dense(self, seed):
+        dense_a, packed_a = self.random_rows(seed)
+        dense_b, packed_b = self.random_rows(seed + 100)
+        assert np.array_equal(
+            bitops.xor_rows_any(packed_a, packed_b),
+            (dense_a != dense_b).any(axis=1),
+        )
+        assert not bitops.xor_rows_any(packed_a, packed_a).any()
+
+    def test_xor_rows_any_shape_checked(self):
+        with pytest.raises(ValueError):
+            bitops.xor_rows_any(
+                np.zeros((2, 3), dtype=np.uint64),
+                np.zeros((2, 2), dtype=np.uint64),
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nonzero_bits_matches_dense_nonzero(self, seed):
+        dense, packed = self.random_rows(seed)
+        rows, bits = bitops.nonzero_bits(packed)
+        ref_rows, ref_bits = np.nonzero(dense)
+        assert np.array_equal(rows, ref_rows)
+        assert np.array_equal(bits, ref_bits)
+
+    def test_nonzero_bits_empty(self):
+        rows, bits = bitops.nonzero_bits(np.zeros((4, 2), dtype=np.uint64))
+        assert rows.size == 0 and bits.size == 0

@@ -202,3 +202,51 @@ class TestEngineEquivalence:
         )
         assert stats.shots == 400
         assert stats.chunks == 4
+
+
+class TestPackedStudyPath:
+    def test_detect_packed_is_packed_detect(self):
+        from repro.gf2 import bitops
+
+        compiled = make_circuit().compile(sampler="frame")
+        det, obs = compiled.detect(300, SEED)
+        det_p, obs_p = compiled.detect_packed(300, SEED)
+        assert np.array_equal(bitops.pack_rows(det), det_p)
+        assert np.array_equal(bitops.pack_rows(obs), obs_p)
+
+    def test_decode_packed_matches_decode_bitwise(self):
+        from repro.gf2 import bitops
+
+        compiled = make_circuit().compile(
+            sampler="frame", decoder="compiled-matching"
+        )
+        predictions, observables = compiled.decode(300, SEED)
+        packed_pred, packed_obs = compiled.decode_packed(300, SEED)
+        assert np.array_equal(bitops.pack_rows(predictions), packed_pred)
+        assert np.array_equal(bitops.pack_rows(observables), packed_obs)
+
+    def test_decode_packed_requires_packed_decoder(self):
+        compiled = make_circuit().compile(
+            sampler="frame", decoder="matching"
+        )
+        with pytest.raises(ValueError, match="packed"):
+            compiled.decode_packed(10, SEED)
+
+    def test_generator_rate_unchanged_by_packed_rewire(self):
+        """The packed Generator path must reproduce the historical
+        unpacked estimate exactly (same stream, bitwise-equal views)."""
+        compiled = make_circuit().compile(
+            sampler="frame", decoder="compiled-matching"
+        )
+        rate = compiled.logical_error_rate(400, np.random.default_rng(SEED))
+        predictions, observables = compiled.decode(
+            400, np.random.default_rng(SEED)
+        )
+        expected = float((predictions != observables).any(axis=1).mean())
+        assert rate == expected
+
+    def test_generator_rate_decoder_none_packed(self):
+        compiled = make_circuit().compile(sampler="frame", decoder="none")
+        rate = compiled.logical_error_rate(400, np.random.default_rng(SEED))
+        _, observables = compiled.detect(400, np.random.default_rng(SEED))
+        assert rate == float(observables.any(axis=1).mean())

@@ -197,6 +197,21 @@ class TestCollect:
         assert "repetition" in out
         assert "600" in out
 
+    def test_profile_prints_stage_breakdown(self, capsys):
+        assert main(self.ARGS + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (1 task(s), 600 shots" in out
+        for stage in ("sample", "decode", "setup/agg", "pool overhead"):
+            assert stage in out, stage
+
+    def test_profile_notes_fully_resumed_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        assert main(self.ARGS + ["--out", store]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--out", store, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "every task resumed" in out
+
     def test_store_written_and_resumed(self, tmp_path, capsys):
         store = str(tmp_path / "results.jsonl")
         assert main(self.ARGS + ["--out", store]) == 0
