@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from repro.backends import compile_backend, get_backend
+from repro.obs import format_rate, safe_rate
 from repro.qec import surface_code_memory
 
 BACKENDS = ("frame-interp", "frame", "symbolic")
@@ -73,12 +74,16 @@ def run_bench(
         result["backends"][name] = {
             "init_seconds": init_seconds,
             "sample_seconds": sample_seconds,
-            "shots_per_sec": shots / sample_seconds,
+            # None (JSON null) when the batch timed at ~0s — tiny smoke
+            # sizings must not crash or record inf.
+            "shots_per_sec": safe_rate(shots, sample_seconds),
             "compile_once": get_backend(name).info.compile_once,
         }
     interp = result["backends"]["frame-interp"]["shots_per_sec"]
     compiled = result["backends"]["frame"]["shots_per_sec"]
-    result["compiled_frame_speedup"] = compiled / interp
+    result["compiled_frame_speedup"] = (
+        safe_rate(compiled, interp) if compiled is not None else None
+    )
     return result
 
 
@@ -118,9 +123,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{'shots/sec':>12}")
     for name, row in result["backends"].items():
         print(f"{name:<14} {row['init_seconds']:>10.4f} "
-              f"{row['sample_seconds']:>11.4f} {row['shots_per_sec']:>12,.0f}")
+              f"{row['sample_seconds']:>11.4f} "
+              f"{format_rate(args.shots, row['sample_seconds']):>12}")
+    speedup = result["compiled_frame_speedup"]
     print(f"compiled frame speedup over interpreter: "
-          f"{result['compiled_frame_speedup']:.2f}x")
+          f"{'-' if speedup is None else format(speedup, '.2f') + 'x'}")
 
     if args.out:
         os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
@@ -128,9 +135,8 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(result, handle, indent=2)
         print(f"wrote {args.out}")
 
-    if (
-        args.min_speedup is not None
-        and result["compiled_frame_speedup"] < args.min_speedup
+    if args.min_speedup is not None and (
+        speedup is None or speedup < args.min_speedup
     ):
         print(f"FAIL: speedup below required {args.min_speedup}x")
         return 1

@@ -1,0 +1,183 @@
+"""Observability overhead: disabled probes must be ~free, enabled cheap.
+
+The ``repro.obs`` instrumentation sits on the collection engine's hot
+path (every chunk calls ``span()``/``is_metrics()`` several times), so
+its *disabled* cost is a correctness property of PR 6, not a nicety.
+This bench measures three things:
+
+* **noop probe cost** — ns per ``obs.span(...)`` call and per
+  ``obs.is_metrics()`` flag test with everything off (the price every
+  untraced run pays, a few dozen times per chunk);
+* **disabled workload** — best-of-N wall time of a small end-to-end
+  engine collection with telemetry off, run twice so the spread between
+  the two disabled legs shows the machine's noise floor;
+* **enabled overhead** — the same workload with tracing + metrics on,
+  as a percentage over the disabled best.
+
+Gates (for CI): ``--max-noop-ns`` bounds the disabled probe cost,
+``--max-enabled-overhead-pct`` bounds the full-telemetry slowdown.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs_overhead.py \\
+          [--fast] [--max-noop-ns 5000] [--max-enabled-overhead-pct 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import repro.obs as obs
+from repro.engine import ExecutionOptions, Task, collect
+from repro.engine.cache import reset_shared_cache
+from repro.qec import repetition_code_memory
+
+
+def _noop_probe_ns(calls: int) -> dict:
+    """Per-call cost of the disabled-path probes, in nanoseconds."""
+    assert not obs.is_tracing() and not obs.is_metrics()
+    started = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench", index=1):
+            pass
+    span_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(calls):
+        obs.is_metrics()
+    flag_seconds = time.perf_counter() - started
+    return {
+        "calls": calls,
+        "span_ns": span_seconds / calls * 1e9,
+        "flag_ns": flag_seconds / calls * 1e9,
+    }
+
+
+def _workload_seconds(task: Task, seed: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one serial engine collection."""
+    best = float("inf")
+    for _ in range(repeats):
+        # A cold cache each round so every leg pays the same compile;
+        # otherwise the first-timed leg looks slower than it is.
+        reset_shared_cache()
+        started = time.perf_counter()
+        collect(
+            [task],
+            options=ExecutionOptions(
+                base_seed=seed, workers=1, chunk_shots=1_000
+            ),
+        )
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_bench(
+    distance: int, p: float, max_shots: int, repeats: int, seed: int
+) -> dict:
+    circuit = repetition_code_memory(
+        distance,
+        rounds=distance,
+        data_flip_probability=p,
+        measure_flip_probability=p,
+    )
+    task = Task(circuit, decoder="compiled-matching", max_shots=max_shots)
+
+    obs.reset()
+    noop = _noop_probe_ns(200_000)
+    disabled_a = _workload_seconds(task, seed, repeats)
+    disabled_b = _workload_seconds(task, seed, repeats)
+    disabled = min(disabled_a, disabled_b)
+    noise_pct = (
+        abs(disabled_a - disabled_b) / disabled * 100.0 if disabled else 0.0
+    )
+
+    obs.enable(tracing=True, metrics=True)
+    try:
+        enabled = _workload_seconds(task, seed, repeats)
+    finally:
+        obs.reset()
+    overhead_pct = (
+        (enabled - disabled) / disabled * 100.0 if disabled else 0.0
+    )
+
+    return {
+        "workload": {
+            "family": "repetition_code_memory",
+            "distance": distance,
+            "p": p,
+            "max_shots": max_shots,
+            "repeats": repeats,
+        },
+        "noop": noop,
+        "disabled_seconds": disabled,
+        "disabled_noise_pct": noise_pct,
+        "enabled_seconds": enabled,
+        "enabled_overhead_pct": overhead_pct,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--distance", type=int, default=5)
+    parser.add_argument("--p", type=float, default=0.02)
+    parser.add_argument("--max-shots", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke sizing: smaller budget, fewer repeats",
+    )
+    parser.add_argument(
+        "--out", default="",
+        help="JSON output path ('' disables writing)",
+    )
+    parser.add_argument(
+        "--max-noop-ns", type=float, default=None,
+        help="exit nonzero if a disabled span() call costs more than this",
+    )
+    parser.add_argument(
+        "--max-enabled-overhead-pct", type=float, default=None,
+        help="exit nonzero if full telemetry costs more than this percent",
+    )
+    args = parser.parse_args(argv)
+    if args.fast:
+        args.max_shots = min(args.max_shots, 8_000)
+        args.repeats = min(args.repeats, 2)
+
+    result = run_bench(
+        args.distance, args.p, args.max_shots, args.repeats, args.seed
+    )
+
+    noop = result["noop"]
+    print(f"disabled probes: span() {noop['span_ns']:.0f} ns/call, "
+          f"is_metrics() {noop['flag_ns']:.0f} ns/call "
+          f"({noop['calls']:,} calls)")
+    print(f"workload disabled: {result['disabled_seconds']:.3f}s "
+          f"(noise between disabled legs: "
+          f"{result['disabled_noise_pct']:.1f}%)")
+    print(f"workload enabled:  {result['enabled_seconds']:.3f}s "
+          f"(+{result['enabled_overhead_pct']:.1f}%)")
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.out}")
+
+    if args.max_noop_ns is not None and noop["span_ns"] > args.max_noop_ns:
+        print(f"FAIL: disabled span() costs {noop['span_ns']:.0f} ns "
+              f"> {args.max_noop_ns} ns")
+        return 1
+    if (
+        args.max_enabled_overhead_pct is not None
+        and result["enabled_overhead_pct"] > args.max_enabled_overhead_pct
+    ):
+        print(f"FAIL: enabled overhead "
+              f"{result['enabled_overhead_pct']:.1f}% > "
+              f"{args.max_enabled_overhead_pct}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

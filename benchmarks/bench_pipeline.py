@@ -31,6 +31,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine import ExecutionOptions, Task, collect
 from repro.gf2 import bitops
 from repro.qec import surface_code_memory
@@ -117,17 +118,17 @@ def run_bench(
         "serial": {
             "unpacked": {
                 "seconds": unpacked_seconds,
-                "shots_per_sec": shots / unpacked_seconds,
+                "shots_per_sec": obs.safe_rate(shots, unpacked_seconds),
                 "errors": unpacked_errors,
             },
             "packed": {
                 "seconds": packed_seconds,
-                "shots_per_sec": shots / packed_seconds,
+                "shots_per_sec": obs.safe_rate(shots, packed_seconds),
                 "errors": packed_errors,
             },
         },
         "errors_identical": packed_errors == unpacked_errors,
-        "packed_speedup": unpacked_seconds / packed_seconds,
+        "packed_speedup": obs.safe_rate(unpacked_seconds, packed_seconds),
     }
 
     # Deployment-shaped leg: a multi-chunk budget through the collection
@@ -139,21 +140,53 @@ def run_bench(
         max_shots=shots * 8,
     )
     for pool_workers in (1, workers):
-        started = time.perf_counter()
-        stats = collect(
-            [task],
-            options=ExecutionOptions(
-                base_seed=seed, workers=pool_workers, chunk_shots=shots
-            ),
-        )[0]
-        wall = time.perf_counter() - started
+        # Each engine leg runs profiled (repro.obs metrics on), so the
+        # JSON records where pooled time actually goes: per-worker
+        # decode seconds, queue wait, and the pickled transport volume.
+        # The metrics probes cost <2% (CI-gated by
+        # bench_obs_overhead.py) — a fair price for attributable legs.
+        obs.reset()
+        obs.enable(tracing=False, metrics=True)
+        try:
+            started = time.perf_counter()
+            stats = collect(
+                [task],
+                options=ExecutionOptions(
+                    base_seed=seed, workers=pool_workers, chunk_shots=shots
+                ),
+            )[0]
+            wall = time.perf_counter() - started
+            reg = obs.registry()
+            per_worker_decode = {
+                pid: reg.value(
+                    "repro_stage_seconds_total", stage="decode", pid=pid
+                )
+                or 0.0
+                for pid in reg.label_values("repro_chunks_total", "pid")
+            }
+            spec_bytes = int(
+                reg.value("repro_transport_spec_bytes_total") or 0
+            )
+            result_bytes = int(
+                reg.value("repro_transport_result_bytes_total") or 0
+            )
+        finally:
+            obs.reset()
         result[f"engine_workers_{pool_workers}"] = {
             "shots": stats.shots,
             "errors": stats.errors,
             "wall_seconds": wall,
-            "shots_per_sec": stats.shots / wall,
+            "shots_per_sec": obs.safe_rate(stats.shots, wall),
             "sample_seconds": stats.sample_seconds,
             "decode_seconds": stats.decode_seconds,
+            "queue_wait_seconds": stats.queue_wait_seconds,
+            "hold_seconds": stats.hold_seconds,
+            "transport": {
+                "spec_bytes": spec_bytes,
+                "result_bytes": result_bytes,
+                "total_bytes": stats.transport_bytes,
+            },
+            "per_worker_decode_seconds": per_worker_decode,
         }
     return result
 
@@ -199,12 +232,25 @@ def main(argv: list[str] | None = None) -> int:
     for name in ("unpacked", "packed"):
         row = result["serial"][name]
         print(f"serial {name:<13} {row['seconds']:>9.4f} "
-              f"{row['shots_per_sec']:>12,.0f} {row['errors']:>7}")
+              f"{obs.format_rate(args.shots, row['seconds']):>12} "
+              f"{row['errors']:>7}")
     for key in sorted(k for k in result if k.startswith("engine_workers_")):
         row = result[key]
         print(f"{key:<20} {row['wall_seconds']:>9.4f} "
-              f"{row['shots_per_sec']:>12,.0f} {row['errors']:>7}")
-    print(f"packed end-to-end speedup: {result['packed_speedup']:.2f}x "
+              f"{obs.format_rate(row['shots'], row['wall_seconds']):>12} "
+              f"{row['errors']:>7}")
+        transport = row["transport"]
+        print(f"{'':<20} queue-wait {row['queue_wait_seconds']:.2f}s, "
+              f"hold {row['hold_seconds']:.2f}s, "
+              f"transport {transport['total_bytes']:,} B, "
+              f"decode/worker "
+              + "+".join(
+                  f"{seconds:.2f}s"
+                  for seconds in row["per_worker_decode_seconds"].values()
+              ))
+    speedup = result["packed_speedup"]
+    print(f"packed end-to-end speedup: "
+          f"{'-' if speedup is None else format(speedup, '.2f') + 'x'} "
           f"(errors identical: {result['errors_identical']})")
 
     if args.out:
@@ -215,9 +261,8 @@ def main(argv: list[str] | None = None) -> int:
     if not result["errors_identical"]:
         print("FAIL: packed and unpacked error counts diverge")
         return 1
-    if (
-        args.min_packed_speedup is not None
-        and result["packed_speedup"] < args.min_packed_speedup
+    if args.min_packed_speedup is not None and (
+        speedup is None or speedup < args.min_packed_speedup
     ):
         print(f"FAIL: packed speedup below required "
               f"{args.min_packed_speedup}x")

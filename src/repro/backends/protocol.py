@@ -11,10 +11,13 @@ callers can *ask* instead of hard-coding backend names.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 import numpy as np
+
+import repro.obs as obs
 
 
 @runtime_checkable
@@ -66,7 +69,17 @@ def pack_detector_samples(
     from repro.gf2.bitops import pack_rows
 
     detectors, observables = sampler.sample_detectors(shots, rng)
-    return pack_rows(detectors), pack_rows(observables)
+    # The adapter's packing pass is pure overhead a packed-native
+    # backend never pays — make it visible so profiles can say "this
+    # backend is packing after the fact" instead of hiding it in
+    # sample time.
+    with obs.span("pack.adapter", shots=shots):
+        packed = pack_rows(detectors), pack_rows(observables)
+    if obs.is_metrics():
+        obs.counter(
+            "repro_pack_adapter_shots_total", pid=str(os.getpid())
+        ).inc(shots)
+    return packed
 
 
 def packed_detector_samples(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import repro.obs as obs
 from repro.backends.protocol import BackendInfo, Sampler
 from repro.circuit.circuit import Circuit
 
@@ -24,7 +25,8 @@ class Backend:
 
     def compile(self, circuit: Circuit) -> Sampler:
         """Run this backend's one-time analysis; returns the sampler."""
-        return self.factory(circuit)
+        with obs.span("backend.compile", backend=self.info.name):
+            return self.factory(circuit)
 
 
 _REGISTRY: dict[str, Backend] = {}

@@ -27,6 +27,7 @@ import argparse
 import sys
 import warnings
 
+import repro.obs as obs
 from repro.backends import (
     available_backends,
     backend_choices,
@@ -216,7 +217,7 @@ def _cmd_decode(args: argparse.Namespace) -> int:
         max_errors=args.max_errors,
     )
     low, high = stats.wilson()
-    rate = stats.shots / stats.seconds if stats.seconds else float("inf")
+    rate = obs.format_rate(stats.shots, stats.seconds)
     print(f"decoder:          {stats.decoder}")
     print(f"sampler:          {stats.sampler}")
     print(f"shots:            {stats.shots}")
@@ -225,7 +226,7 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     print(f"wilson 95% CI:    [{low:.6e}, {high:.6e}]")
     # End-to-end pipeline rate (compile + sample + decode), not the
     # decoder's decode_batch throughput — bench_decode.py measures that.
-    print(f"pipeline:         {rate:,.0f} shots/sec "
+    print(f"pipeline:         {rate} shots/sec "
           f"({stats.seconds:.2f}s, workers={args.workers})")
     return 0
 
@@ -327,6 +328,59 @@ def _print_profile(results) -> None:
         share = value / busy if busy else 0.0
         print(f"  {label:<14} {value:>8.2f}s  {share:>6.1%} of worker-busy")
     print(f"  {'pool overhead':<14} {overhead:>8.2f}s  (wall - worker-busy)")
+    queue_wait = sum(s.queue_wait_seconds for s in fresh)
+    hold = sum(s.hold_seconds for s in fresh)
+    transport = sum(s.transport_bytes for s in fresh)
+    if queue_wait or hold or transport:
+        print(f"  {'queue wait':<14} {queue_wait:>8.2f}s  "
+              f"(chunk submit -> worker start, summed)")
+        print(f"  {'reorder hold':<14} {hold:>8.2f}s  "
+              f"(result received -> yielded, summed)")
+        print(f"  {'transport':<14} {transport:>9,} B  "
+              f"(pickled specs + results, both ways)")
+    _print_worker_profile()
+
+
+def _print_worker_profile() -> None:
+    """Per-worker, per-stage table from the run's metrics registry.
+
+    Only prints when the registry holds worker series (i.e. the run was
+    profiled).  ``compile`` is the cache-build share of each worker's
+    ``other`` time — the per-worker price of the first chunk of every
+    distinct circuit — split out so a pool that re-compiles per worker
+    is visibly different from one that is queue-bound.
+    """
+    reg = obs.registry()
+    pids = reg.label_values("repro_chunks_total", "pid")
+    if not pids:
+        return
+    print("per-worker:")
+    print(f"  {'pid':>8} {'chunks':>6} {'shots':>9} {'compile':>9} "
+          f"{'sample':>9} {'decode':>9} {'other':>9} {'busy':>9} "
+          f"{'shots/s':>9}")
+    for pid in pids:
+        chunks = int(reg.value("repro_chunks_total", pid=pid) or 0)
+        shots = int(reg.value("repro_shots_total", pid=pid) or 0)
+        sample = reg.value(
+            "repro_stage_seconds_total", stage="sample", pid=pid
+        ) or 0.0
+        decode = reg.value(
+            "repro_stage_seconds_total", stage="decode", pid=pid
+        ) or 0.0
+        other = reg.value(
+            "repro_stage_seconds_total", stage="other", pid=pid
+        ) or 0.0
+        compiled = sum(
+            metric.value
+            for _, metric in reg.select(
+                "repro_cache_build_seconds_total", pid=pid
+            )
+        )
+        busy = reg.value("repro_worker_seconds_total", pid=pid) or 0.0
+        print(f"  {pid:>8} {chunks:>6} {shots:>9} {compiled:>8.2f}s "
+              f"{sample:>8.2f}s {decode:>8.2f}s "
+              f"{max(other - compiled, 0.0):>8.2f}s {busy:>8.2f}s "
+              f"{obs.format_rate(shots, busy):>9}")
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
@@ -357,18 +411,51 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             f"[{low:.3e}, {high:.3e}] {tag:>8}"
         )
 
-    result = run(
-        tasks,
-        ExecutionOptions(
-            base_seed=args.seed,
-            workers=args.workers,
-            chunk_shots=args.chunk_shots,
-            store=args.out,
-            progress=report,
-        ),
+    # --trace turns on span recording, --profile/--metrics-out turn on
+    # the metrics registry; whatever this command enabled it tears down
+    # (after exporting) so library users driving main() in-process are
+    # unaffected.
+    want_tracing = args.trace is not None
+    want_metrics = args.profile or args.metrics_out is not None
+    enabled_here = (want_tracing and not obs.is_tracing()) or (
+        want_metrics and not obs.is_metrics()
     )
-    if args.profile:
-        _print_profile(result.stats)
+    if enabled_here:
+        obs.enable(
+            tracing=obs.is_tracing() or want_tracing,
+            metrics=obs.is_metrics() or want_metrics,
+        )
+    try:
+        result = run(
+            tasks,
+            ExecutionOptions(
+                base_seed=args.seed,
+                workers=args.workers,
+                chunk_shots=args.chunk_shots,
+                store=args.out,
+                progress=report,
+            ),
+        )
+        if args.profile:
+            _print_profile(result.stats)
+        if args.trace is not None:
+            spans = obs.drain_spans()
+            timelines = obs.drain_timelines()
+            if args.trace.endswith(".jsonl"):
+                count = obs.write_spans_jsonl(spans, args.trace)
+                print(f"trace: wrote {count} span(s) to {args.trace}")
+            else:
+                count = obs.write_chrome_trace(
+                    spans, args.trace, timelines=timelines
+                )
+                print(f"trace: wrote {count} event(s) to {args.trace} "
+                      f"(load in chrome://tracing or Perfetto)")
+        if args.metrics_out is not None:
+            obs.write_prometheus(obs.registry(), args.metrics_out)
+            print(f"metrics: wrote {args.metrics_out}")
+    finally:
+        if enabled_here:
+            obs.reset()
     return 0
 
 
@@ -484,8 +571,22 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help=(
             "print a per-stage time breakdown (sample / decode / "
-            "aggregate / pool overhead) from the workers' chunk timings"
+            "aggregate / pool overhead) plus a per-worker table with "
+            "compile, queue-wait and transport attribution"
         ),
+    )
+    collect_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "record spans and chunk timelines; write a "
+            "chrome://tracing-loadable JSON to PATH (or span JSONL "
+            "when PATH ends in .jsonl)"
+        ),
+    )
+    collect_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry to PATH in Prometheus "
+             "text exposition format",
     )
 
     args = parser.parse_args(argv)

@@ -37,15 +37,27 @@ same ``nx.max_weight_matching`` call the reference makes.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from itertools import count
 
 import networkx as nx
 import numpy as np
 
+import repro.obs as obs
 from repro.decoders.matching import BOUNDARY, build_decoding_graph, dedupe_rows
 from repro.dem.model import DetectorErrorModel
 from repro.gf2 import bitops
+
+
+def _count_decode_rows(total: int, nonzero: int, unique: int) -> None:
+    """Per-worker dedupe-effectiveness counters for the packed decode
+    path: of ``total`` rows, ``nonzero`` carried defects and only
+    ``unique`` of those actually ran the decode core."""
+    pid = str(os.getpid())
+    obs.counter("repro_decode_rows_total", pid=pid).inc(total)
+    obs.counter("repro_decode_nonzero_rows_total", pid=pid).inc(nonzero)
+    obs.counter("repro_decode_unique_rows_total", pid=pid).inc(unique)
 
 # Defect sets with more nodes than this fall back to blossom matching:
 # the pairing count (k-1)!! reaches 10395 at k=12 — still one cheap
@@ -186,8 +198,14 @@ class CompiledMatchingDecoder:
         )
         nonzero = bitops.nonzero_rows_packed(syndromes)
         if nonzero.size == 0:
+            if obs.is_metrics():
+                _count_decode_rows(syndromes.shape[0], 0, 0)
             return out
         unique, inverse = bitops.dedupe_rows_packed(syndromes[nonzero])
+        if obs.is_metrics():
+            _count_decode_rows(
+                syndromes.shape[0], int(nonzero.size), int(unique.shape[0])
+            )
         rows, flat = bitops.nonzero_bits(unique)
         counts = np.bincount(rows, minlength=unique.shape[0])
         decoded = self._decode_unique(counts, flat)

@@ -16,8 +16,24 @@ initialization at most once per distinct circuit it touches.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
+
+import repro.obs as obs
+
+
+def _key_kind(key: Hashable) -> str:
+    """The artifact family of a cache key (circuit/sampler/dem/decoder).
+
+    Keys are ``(kind, fingerprint, ...)`` tuples by convention; the
+    kind tags hit/miss metrics and build spans so per-artifact compile
+    cost is attributable in profiles.
+    """
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "other"
 
 
 class SamplerCache:
@@ -39,13 +55,41 @@ class SamplerCache:
 
     def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building and inserting it
-        on a miss (evicting the least recently used entry if full)."""
+        on a miss (evicting the least recently used entry if full).
+
+        When :mod:`repro.obs` metrics are on, hits and misses count
+        into ``repro_cache_{hits,misses}_total{kind,pid}`` and build
+        time into ``repro_cache_build_seconds_total{kind,pid}`` — the
+        per-worker compile column of ``repro collect --profile``; when
+        tracing is on each miss's build runs inside a ``cache.build``
+        span.
+        """
         if key in self._entries:
             self.hits += 1
+            if obs.is_metrics():
+                obs.counter(
+                    "repro_cache_hits_total",
+                    kind=_key_kind(key), pid=str(os.getpid()),
+                ).inc()
             self._entries.move_to_end(key)
             return self._entries[key]
         self.misses += 1
-        value = build()
+        if not (obs.is_metrics() or obs.is_tracing()):
+            value = build()
+        else:
+            kind = _key_kind(key)
+            pid = str(os.getpid())
+            if obs.is_metrics():
+                obs.counter(
+                    "repro_cache_misses_total", kind=kind, pid=pid
+                ).inc()
+            started = time.perf_counter()
+            with obs.span("cache.build", kind=kind):
+                value = build()
+            if obs.is_metrics():
+                obs.counter(
+                    "repro_cache_build_seconds_total", kind=kind, pid=pid
+                ).inc(time.perf_counter() - started)
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.decoders.metrics import wilson_interval
 from repro.engine.options import UNSET, ExecutionOptions, explicit_kwargs
 from repro.engine.tasks import Task
@@ -40,6 +41,13 @@ class TaskStats:
     workers, so it can exceed wall time on a pool), and
     ``sample_seconds`` / ``decode_seconds`` split that busy time into
     the two hot stages — the numbers behind ``repro collect --profile``.
+
+    ``queue_wait_seconds`` (submit -> worker start) and
+    ``hold_seconds`` (result received -> yielded past the reorder
+    buffer) sum the runner's scheduling overheads across the task's
+    chunks, and ``transport_bytes`` the pickled spec+result payloads
+    both ways; all three stay 0 for in-process runs and for runs
+    without telemetry (they are observations, not part of the counts).
     """
 
     task_id: str
@@ -55,6 +63,9 @@ class TaskStats:
     worker_seconds: float = 0.0
     sample_seconds: float = 0.0
     decode_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    hold_seconds: float = 0.0
+    transport_bytes: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -89,6 +100,11 @@ class TaskStats:
             worker_seconds=float(row.get("worker_seconds", 0.0)),
             sample_seconds=float(row.get("sample_seconds", 0.0)),
             decode_seconds=float(row.get("decode_seconds", 0.0)),
+            # Telemetry fields arrived after the first store format;
+            # older rows resume with them at zero.
+            queue_wait_seconds=float(row.get("queue_wait_seconds", 0.0)),
+            hold_seconds=float(row.get("hold_seconds", 0.0)),
+            transport_bytes=int(row.get("transport_bytes", 0)),
         )
 
 
@@ -160,6 +176,7 @@ def collect(
     max_errors: int | None = UNSET,
     store: ResultStore | str | os.PathLike | None = UNSET,
     progress: Callable[[TaskStats], None] | None = UNSET,
+    profile: bool = UNSET,
 ) -> list[TaskStats]:
     """Collect statistics for every task; returns one TaskStats per task.
 
@@ -183,6 +200,9 @@ def collect(
     * ``store`` — path or :class:`ResultStore`; tasks with an existing
       row are returned as ``resumed`` without sampling a single shot.
     * ``progress`` — callback invoked with each finished TaskStats.
+    * ``profile`` — enable :mod:`repro.obs` metrics for this run
+      (restored afterwards; the registry is left populated for the
+      caller).  Observational only — counts are unaffected.
     """
     passed = explicit_kwargs(
         base_seed=base_seed,
@@ -191,6 +211,7 @@ def collect(
         max_errors=max_errors,
         store=store,
         progress=progress,
+        profile=profile,
     )
     if options is None:
         options = ExecutionOptions(**passed)
@@ -210,32 +231,49 @@ def collect(
         options.base_seed if options.base_seed is not None else fresh_base_seed()
     )
 
+    # --profile turns metrics on for the run only; the prior flag state
+    # is restored afterwards but the registry is deliberately left
+    # populated so the caller can read/print/export what was measured.
+    restore_flags = None
+    if options.profile and not obs.is_metrics():
+        restore_flags = obs.wire_config()
+        obs.enable(tracing=obs.is_tracing(), metrics=True)
+
     results: list[TaskStats] = []
-    with ChunkRunner(workers=options.workers) as runner:
-        for task in task_list:
-            task_id = task.strong_id()
-            stored = completed.get(task_id)
-            # A row only satisfies this run if it was collected under the
-            # same base seed (legacy rows without one are accepted) —
-            # changing --seed must produce fresh, independent counts.  An
-            # unseeded run (base_seed=None) asks for *a* sample, not a
-            # specific one, so any completed row satisfies it.
-            if stored is not None and (
-                options.base_seed is None
-                or stored.base_seed in (None, options.base_seed)
-            ):
-                results.append(stored)
+    try:
+        with ChunkRunner(workers=options.workers) as runner:
+            for task in task_list:
+                task_id = task.strong_id()
+                stored = completed.get(task_id)
+                # A row only satisfies this run if it was collected
+                # under the same base seed (legacy rows without one are
+                # accepted) — changing --seed must produce fresh,
+                # independent counts.  An unseeded run (base_seed=None)
+                # asks for *a* sample, not a specific one, so any
+                # completed row satisfies it.
+                if stored is not None and (
+                    options.base_seed is None
+                    or stored.base_seed in (None, options.base_seed)
+                ):
+                    results.append(stored)
+                    if progress is not None:
+                        progress(stored)
+                    continue
+                stats = _collect_one(
+                    task,
+                    runner,
+                    run_seed,
+                    options.chunk_shots,
+                    options.max_errors,
+                )
+                if store is not None:
+                    store.append(stats)
+                results.append(stats)
                 if progress is not None:
-                    progress(stored)
-                continue
-            stats = _collect_one(
-                task, runner, run_seed, options.chunk_shots, options.max_errors
-            )
-            if store is not None:
-                store.append(stats)
-            results.append(stats)
-            if progress is not None:
-                progress(stats)
+                    progress(stats)
+    finally:
+        if restore_flags is not None:
+            obs.configure(restore_flags)
     return results
 
 
@@ -259,14 +297,22 @@ def _collect_one(
     )
     specs = plan_chunks(task, base_seed, chunk_shots)
     wall_start = time.perf_counter()
-    for result in runner.run(specs):
-        stats.shots += result.shots
-        stats.errors += result.errors
-        stats.chunks += 1
-        stats.worker_seconds += result.seconds
-        stats.sample_seconds += result.sample_seconds
-        stats.decode_seconds += result.decode_seconds
-        if max_errors is not None and stats.errors >= max_errors:
-            break
+    with obs.span(
+        "task", task=stats.task_id, decoder=task.decoder, sampler=task.sampler
+    ) as task_sp:
+        for result in runner.run(specs):
+            stats.shots += result.shots
+            stats.errors += result.errors
+            stats.chunks += 1
+            stats.worker_seconds += result.seconds
+            stats.sample_seconds += result.sample_seconds
+            stats.decode_seconds += result.decode_seconds
+            stats.queue_wait_seconds += result.queue_wait_seconds
+            stats.hold_seconds += result.hold_seconds
+            stats.transport_bytes += result.spec_bytes + result.result_bytes
+            if max_errors is not None and stats.errors >= max_errors:
+                break
+        task_sp.set(shots=stats.shots, errors=stats.errors,
+                    chunks=stats.chunks)
     stats.seconds = time.perf_counter() - wall_start
     return stats

@@ -63,6 +63,10 @@ class ExecutionOptions:
     * ``store`` — JSONL result-store path (or ``ResultStore``); enables
       resume.
     * ``progress`` — callback invoked with each finished ``TaskStats``.
+    * ``profile`` — turn on :mod:`repro.obs` metrics for the duration
+      of the run (flags restored afterwards; the registry is left
+      intact for the caller to read).  Purely observational: no effect
+      on the collected counts.
     """
 
     workers: int = 1
@@ -73,6 +77,7 @@ class ExecutionOptions:
     progress: "Callable[[TaskStats], None] | None" = field(
         default=None, compare=False
     )
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -16,13 +16,16 @@ later chunk is pure Eq. 4 sampling + decoding.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.cache import shared_cache
 from repro.engine.tasks import Task
 from repro.gf2 import bitops
@@ -52,6 +55,21 @@ class ChunkResult:
     ``sample_seconds`` / ``decode_seconds`` split out the two hot
     stages (the remainder is setup + aggregation), so per-stage
     profiles (``repro collect --profile``) come free with every run.
+
+    ``started_at``/``finished_at`` are the worker's ``perf_counter``
+    stamps (comparable with the parent's on one machine) and ``pid``
+    the process that ran the chunk; together with the scheduler's own
+    stamps they become the chunk's :class:`repro.obs.ChunkTimeline`.
+    ``queue_wait_seconds`` (submit -> worker start) and
+    ``hold_seconds`` (result received -> yielded past the reorder
+    buffer) are filled in by :meth:`ChunkRunner.run` on the way out;
+    ``spec_bytes``/``result_bytes`` record the pickled transport
+    payload both ways when :mod:`repro.obs` metrics are on (0 for
+    in-process runs — there is no transport to account).
+
+    ``spans``/``metrics`` piggyback the worker's buffered
+    :mod:`repro.obs` telemetry back to the parent (wire tuples; the
+    runner absorbs them and strips both before yielding).
     """
 
     task_id: str
@@ -61,6 +79,15 @@ class ChunkResult:
     seconds: float
     sample_seconds: float = 0.0
     decode_seconds: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    pid: int = 0
+    queue_wait_seconds: float = 0.0
+    hold_seconds: float = 0.0
+    spec_bytes: int = 0
+    result_bytes: int = 0
+    spans: tuple = ()
+    metrics: tuple = ()
 
 
 def plan_chunks(
@@ -149,57 +176,151 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
     from repro.circuit.circuit import Circuit
 
     started = time.perf_counter()
+    pid = os.getpid()
     cache = shared_cache()
-    circuit = cache.get_or_build(
-        ("circuit", spec.fingerprint),
-        lambda: Circuit.from_text(spec.circuit_text),
-    )
-    sampler = cache.get_or_build(
-        ("sampler", spec.fingerprint, spec.sampler),
-        lambda: _build_sampler(spec, circuit),
-    )
-    rng = chunk_generator(spec.base_seed, spec.task_entropy, spec.chunk_index)
-    decode_seconds = 0.0
-    if spec.decoder == "none":
-        sample_started = time.perf_counter()
-        _, observables = _sample_packed(sampler, spec.shots, rng)
-        sample_seconds = time.perf_counter() - sample_started
-        errors = int(bitops.nonzero_rows_packed(observables).size)
-    elif _decoder_is_packed(spec.decoder):
-        sample_started = time.perf_counter()
-        detectors, observables = _sample_packed(sampler, spec.shots, rng)
-        sample_seconds = time.perf_counter() - sample_started
-        decoder = cache.get_or_build(
-            ("decoder", spec.fingerprint, spec.decoder),
-            lambda: _build_decoder(spec, circuit),
+    with obs.span(
+        "chunk",
+        task=spec.task_id,
+        chunk=spec.chunk_index,
+        shots=spec.shots,
+        sampler=spec.sampler,
+        decoder=spec.decoder,
+    ) as chunk_sp:
+        if obs.is_tracing():
+            sampler_key = ("sampler", spec.fingerprint, spec.sampler)
+            chunk_sp.set(
+                sampler_cache="hit" if sampler_key in cache else "miss"
+            )
+        circuit = cache.get_or_build(
+            ("circuit", spec.fingerprint),
+            lambda: Circuit.from_text(spec.circuit_text),
         )
-        decode_started = time.perf_counter()
-        predictions = decoder.decode_batch_packed(detectors)
-        errors = int(
-            np.count_nonzero(bitops.xor_rows_any(predictions, observables))
+        sampler = cache.get_or_build(
+            ("sampler", spec.fingerprint, spec.sampler),
+            lambda: _build_sampler(spec, circuit),
         )
-        decode_seconds = time.perf_counter() - decode_started
-    else:
-        sample_started = time.perf_counter()
-        detectors, observables = sampler.sample_detectors(spec.shots, rng)
-        sample_seconds = time.perf_counter() - sample_started
-        decoder = cache.get_or_build(
-            ("decoder", spec.fingerprint, spec.decoder),
-            lambda: _build_decoder(spec, circuit),
+        rng = chunk_generator(
+            spec.base_seed, spec.task_entropy, spec.chunk_index
         )
-        decode_started = time.perf_counter()
-        predictions = decoder.decode_batch(detectors)
-        errors = int((predictions != observables).any(axis=1).sum())
-        decode_seconds = time.perf_counter() - decode_started
+        decode_seconds = 0.0
+        if spec.decoder == "none":
+            with obs.span("sample", chunk=spec.chunk_index) as sp:
+                sample_started = time.perf_counter()
+                _, observables = _sample_packed(sampler, spec.shots, rng)
+                sample_seconds = time.perf_counter() - sample_started
+                sp.set(observable_bytes=int(observables.nbytes))
+            errors = int(bitops.nonzero_rows_packed(observables).size)
+        elif _decoder_is_packed(spec.decoder):
+            with obs.span("sample", chunk=spec.chunk_index) as sp:
+                sample_started = time.perf_counter()
+                detectors, observables = _sample_packed(
+                    sampler, spec.shots, rng
+                )
+                sample_seconds = time.perf_counter() - sample_started
+                sp.set(
+                    detector_bytes=int(detectors.nbytes),
+                    observable_bytes=int(observables.nbytes),
+                )
+            if obs.is_tracing():
+                decoder_key = ("decoder", spec.fingerprint, spec.decoder)
+                chunk_sp.set(
+                    decoder_cache="hit" if decoder_key in cache else "miss"
+                )
+            decoder = cache.get_or_build(
+                ("decoder", spec.fingerprint, spec.decoder),
+                lambda: _build_decoder(spec, circuit),
+            )
+            with obs.span("decode", chunk=spec.chunk_index) as sp:
+                decode_started = time.perf_counter()
+                predictions = decoder.decode_batch_packed(detectors)
+                errors = int(
+                    np.count_nonzero(
+                        bitops.xor_rows_any(predictions, observables)
+                    )
+                )
+                decode_seconds = time.perf_counter() - decode_started
+                sp.set(prediction_bytes=int(predictions.nbytes), packed=True)
+        else:
+            with obs.span("sample", chunk=spec.chunk_index) as sp:
+                sample_started = time.perf_counter()
+                detectors, observables = sampler.sample_detectors(
+                    spec.shots, rng
+                )
+                sample_seconds = time.perf_counter() - sample_started
+                sp.set(
+                    detector_bytes=int(detectors.nbytes),
+                    observable_bytes=int(observables.nbytes),
+                )
+            if obs.is_tracing():
+                decoder_key = ("decoder", spec.fingerprint, spec.decoder)
+                chunk_sp.set(
+                    decoder_cache="hit" if decoder_key in cache else "miss"
+                )
+            decoder = cache.get_or_build(
+                ("decoder", spec.fingerprint, spec.decoder),
+                lambda: _build_decoder(spec, circuit),
+            )
+            with obs.span("decode", chunk=spec.chunk_index) as sp:
+                decode_started = time.perf_counter()
+                predictions = decoder.decode_batch(detectors)
+                errors = int((predictions != observables).any(axis=1).sum())
+                decode_seconds = time.perf_counter() - decode_started
+                sp.set(prediction_bytes=int(predictions.nbytes), packed=False)
+        chunk_sp.set(errors=errors)
+    finished = time.perf_counter()
+    seconds = finished - started
+    if obs.is_metrics():
+        worker = str(pid)
+        obs.counter("repro_chunks_total", pid=worker).inc()
+        obs.counter("repro_shots_total", pid=worker).inc(spec.shots)
+        obs.counter("repro_errors_total", pid=worker).inc(errors)
+        obs.counter("repro_worker_seconds_total", pid=worker).inc(seconds)
+        obs.counter(
+            "repro_stage_seconds_total", stage="sample", pid=worker
+        ).inc(sample_seconds)
+        obs.counter(
+            "repro_stage_seconds_total", stage="decode", pid=worker
+        ).inc(decode_seconds)
+        obs.counter(
+            "repro_stage_seconds_total", stage="other", pid=worker
+        ).inc(max(seconds - sample_seconds - decode_seconds, 0.0))
+        obs.histogram("repro_chunk_seconds", pid=worker).observe(seconds)
     return ChunkResult(
         task_id=spec.task_id,
         chunk_index=spec.chunk_index,
         shots=spec.shots,
         errors=errors,
-        seconds=time.perf_counter() - started,
+        seconds=seconds,
         sample_seconds=sample_seconds,
         decode_seconds=decode_seconds,
+        started_at=started,
+        finished_at=finished,
+        pid=pid,
+        # Piggyback buffered telemetry only when running in a pool
+        # worker: in-process runs already share the parent's buffers,
+        # and shipping+merging there would double-count every metric.
+        spans=(
+            obs.drain_wire_spans()
+            if _IN_WORKER and obs.is_tracing()
+            else ()
+        ),
+        metrics=(
+            obs.flush_wire() if _IN_WORKER and obs.is_metrics() else ()
+        ),
     )
+
+
+_IN_WORKER = False
+
+
+def _obs_worker_init(config: dict) -> None:
+    """Pool initializer: adopt the parent's telemetry flags and mark
+    this process as a worker so ``run_chunk`` ships its telemetry back
+    on the wire (spawned children start with everything off; forked
+    ones inherit flags but still need the worker mark)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    obs.configure(config)
 
 
 def _indexed_run_chunk(
@@ -233,7 +354,11 @@ class ChunkRunner:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            self._pool = context.Pool(processes=self.workers)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_obs_worker_init,
+                initargs=(obs.wire_config(),),
+            )
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
@@ -259,6 +384,66 @@ class ChunkRunner:
             self._feeder_stop = None
             self._feeder_slots = None
 
+    @staticmethod
+    def _finalize(
+        result: ChunkResult,
+        submitted: float,
+        received: float,
+        spec_bytes: int = 0,
+        result_bytes: int = 0,
+    ) -> ChunkResult:
+        """Complete a chunk's timeline on the way out of the runner.
+
+        Absorbs any piggybacked worker telemetry into the parent's
+        buffers, derives queue wait (submit -> worker start) and
+        reorder-buffer hold (received -> yielded), records the chunk's
+        :class:`~repro.obs.ChunkTimeline`, and strips the wire payload
+        from the yielded result.  A single no-op when telemetry is off.
+        """
+        if not (obs.is_tracing() or obs.is_metrics()):
+            return result
+        if result.spans:
+            obs.absorb_spans(result.spans)
+        if result.metrics:
+            obs.merge_wire(result.metrics)
+        yielded = time.perf_counter()
+        queue_wait = max(result.started_at - submitted, 0.0)
+        hold = max(yielded - received, 0.0)
+        if obs.is_metrics():
+            obs.counter("repro_queue_wait_seconds_total").inc(queue_wait)
+            obs.counter("repro_hold_seconds_total").inc(hold)
+            if spec_bytes or result_bytes:
+                obs.counter("repro_transport_spec_bytes_total").inc(
+                    spec_bytes
+                )
+                obs.counter("repro_transport_result_bytes_total").inc(
+                    result_bytes
+                )
+        obs.record_timeline(
+            obs.ChunkTimeline(
+                task_id=result.task_id,
+                chunk_index=result.chunk_index,
+                shots=result.shots,
+                pid=result.pid,
+                submitted_at=submitted,
+                started_at=result.started_at,
+                finished_at=result.finished_at,
+                received_at=received,
+                yielded_at=yielded,
+                spec_bytes=spec_bytes,
+                result_bytes=result_bytes,
+            )
+        )
+        return replace(
+            result,
+            queue_wait_seconds=queue_wait,
+            hold_seconds=hold,
+            spec_bytes=spec_bytes,
+            result_bytes=result_bytes,
+            spans=(),
+            metrics=(),
+        )
+
     def run(self, specs: Iterable[ChunkSpec]) -> Iterator[ChunkResult]:
         """Yield results in chunk-submission order.
 
@@ -280,7 +465,16 @@ class ChunkRunner:
         """
         if self._pool is None:
             for spec in specs:
-                yield run_chunk(spec)
+                submitted = time.perf_counter()
+                result = run_chunk(spec)
+                # In-process there is no transport or queue; received
+                # coincides with the worker finish stamp and the bytes
+                # stay 0 so profiles never invent overhead.
+                yield self._finalize(
+                    result,
+                    submitted=submitted,
+                    received=result.finished_at,
+                )
             return
         window = 2 * self.workers
         # The pool's task-handler thread pulls from this generator; the
@@ -293,20 +487,33 @@ class ChunkRunner:
         self._feeder_stop = stop
         self._feeder_slots = slots
 
+        # Transport accounting re-pickles specs/results on the parent
+        # (the pool's own pickling is not observable), so it is paid
+        # only when metrics are on.
+        measure = obs.is_metrics()
+        submit_times: dict[int, float] = {}
+        spec_sizes: dict[int, int] = {}
+
         def feed() -> Iterator[tuple[int, ChunkSpec]]:
             for indexed in enumerate(specs):
                 slots.acquire()
                 if stop.is_set():
                     return
+                index, spec = indexed
+                submit_times[index] = time.perf_counter()
+                if measure:
+                    spec_sizes[index] = len(pickle.dumps(spec))
                 yield indexed
 
-        reorder: dict[int, ChunkResult] = {}
+        reorder: dict[int, tuple[ChunkResult, float, int]] = {}
         next_index = 0
         try:
             for index, result in self._pool.imap_unordered(
                 _indexed_run_chunk, feed()
             ):
-                reorder[index] = result
+                received = time.perf_counter()
+                result_bytes = len(pickle.dumps(result)) if measure else 0
+                reorder[index] = (result, received, result_bytes)
                 # A slot is freed only when its result is *yielded*, not
                 # when it lands in the reorder buffer: results parked
                 # behind a slow head-of-line chunk keep holding slots,
@@ -316,7 +523,18 @@ class ChunkRunner:
                 # order, so the chunk `next_index` waits for is always
                 # already in flight or buffered.
                 while next_index in reorder:
-                    yield reorder.pop(next_index)
+                    buffered, received_at, in_bytes = reorder.pop(
+                        next_index
+                    )
+                    yield self._finalize(
+                        buffered,
+                        submitted=submit_times.pop(
+                            next_index, received_at
+                        ),
+                        received=received_at,
+                        spec_bytes=spec_sizes.pop(next_index, 0),
+                        result_bytes=in_bytes,
+                    )
                     next_index += 1
                     slots.release()
         finally:

@@ -1,0 +1,141 @@
+"""``repro.obs`` — tracing, metrics and per-chunk timelines.
+
+The pipeline's observability layer, in four small parts:
+
+:mod:`~repro.obs.core`
+    ``span("sample", chunk=3)``-style context managers producing
+    structured :class:`SpanRecord`\\ s (wall/CPU time, parent link,
+    pid/tid, free-form attributes) with near-zero overhead when
+    disabled.
+:mod:`~repro.obs.metrics`
+    A per-process :class:`MetricsRegistry` of counters, gauges and
+    fixed-bucket histograms; engine workers update theirs locally and
+    ship deltas back piggybacked on each ``ChunkResult``
+    (:func:`flush_wire` / :func:`merge_wire`).
+:mod:`~repro.obs.timeline`
+    :class:`ChunkTimeline` — submit/start/finish/receive/yield stamps
+    per chunk, deriving queue wait, worker busy time and reorder-buffer
+    hold.
+:mod:`~repro.obs.export`
+    JSONL span sink, Chrome ``chrome://tracing`` trace-event writer,
+    Prometheus text exposition (validated by :mod:`~repro.obs.schema`).
+
+Typical use — trace one collection run::
+
+    from repro import obs
+    from repro.study import ExecutionOptions, Sweep
+
+    obs.enable(tracing=True, metrics=True)
+    Sweep(codes="repetition").collect(ExecutionOptions(workers=2))
+    obs.write_chrome_trace(obs.drain_spans(), "trace.json",
+                           timelines=obs.drain_timelines())
+    print(obs.prometheus_text(obs.registry()))
+    obs.reset()
+
+or from the CLI: ``repro collect --trace trace.json --profile``.
+Everything is off by default; the engine's instrumented hot path costs
+a flag test per probe when disabled (CI-guarded by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs import core as _core
+from repro.obs import timeline as _timeline
+from repro.obs.core import (
+    SpanRecord,
+    absorb_spans,
+    add_record,
+    configure,
+    disable,
+    drain_spans,
+    drain_wire_spans,
+    enable,
+    event,
+    is_metrics,
+    is_tracing,
+    span,
+    spans_from_wire,
+    spans_to_wire,
+    wire_config,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    flush_wire,
+    format_rate,
+    gauge,
+    histogram,
+    merge_wire,
+    registry,
+    safe_rate,
+)
+from repro.obs.timeline import (
+    ChunkTimeline,
+    drain_timelines,
+    peek_timelines,
+    record_timeline,
+)
+
+__all__ = [
+    "ChunkTimeline",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "absorb_spans",
+    "add_record",
+    "chrome_trace_events",
+    "configure",
+    "counter",
+    "disable",
+    "drain_spans",
+    "drain_timelines",
+    "drain_wire_spans",
+    "enable",
+    "event",
+    "flush_wire",
+    "format_rate",
+    "gauge",
+    "histogram",
+    "is_metrics",
+    "is_tracing",
+    "merge_wire",
+    "peek_timelines",
+    "prometheus_text",
+    "record_timeline",
+    "registry",
+    "reset",
+    "safe_rate",
+    "span",
+    "spans_from_wire",
+    "spans_to_wire",
+    "wire_config",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_spans_jsonl",
+]
+
+
+def reset() -> None:
+    """Disable everything and drop all buffered telemetry.
+
+    The clean-slate teardown between independent runs (and tests):
+    flags off, span buffer cleared, timelines cleared, metrics registry
+    emptied.
+    """
+    disable()
+    _core._clear()
+    _timeline._clear()
+    registry().clear()

@@ -1,0 +1,310 @@
+"""Tracing core: structured spans with near-zero disabled overhead.
+
+A span is one timed region of the pipeline — ``with span("sample",
+chunk=3): ...`` — recorded as a :class:`SpanRecord` carrying wall and
+CPU time, the process/thread that ran it, a parent link (spans nest via
+a thread-local stack), and free-form attributes (task ``strong_id``,
+chunk index, payload byte sizes, cache hit/miss tags).
+
+The design constraint is the *disabled* path: collection hot loops call
+:func:`span` unconditionally, so when tracing is off it must cost a
+single flag test plus returning a shared no-op context manager — no
+clocks, no allocation beyond the call's own kwargs.  The engine's
+overhead gate (``benchmarks/bench_obs_overhead.py``) holds this to
+measurement.
+
+Worker processes buffer their finished spans locally;
+:func:`drain_wire_spans` converts the buffer to a picklable tuple that
+rides back to the parent on each ``ChunkResult``, where
+:func:`absorb_spans` folds it into the parent's buffer.  The pool
+initializer ships :func:`wire_config` so spawned workers inherit the
+parent's enable flags (forked workers inherit them for free).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "SpanRecord",
+    "absorb_spans",
+    "configure",
+    "disable",
+    "drain_spans",
+    "drain_wire_spans",
+    "enable",
+    "event",
+    "is_metrics",
+    "is_tracing",
+    "span",
+    "spans_from_wire",
+    "spans_to_wire",
+    "wire_config",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named, timed, attributed region."""
+
+    name: str
+    start: float  # perf_counter seconds (monotonic, shared per machine)
+    duration: float
+    cpu: float  # process_time delta over the region
+    pid: int
+    tid: int
+    span_id: str
+    parent_id: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """The span-schema dict (see :mod:`repro.obs.schema`)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "cpu": self.cpu,
+            "pid": self.pid,
+            "tid": self.tid,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+    def to_wire(self) -> tuple:
+        """A compact picklable tuple (worker -> parent transport)."""
+        return (
+            self.name,
+            self.start,
+            self.duration,
+            self.cpu,
+            self.pid,
+            self.tid,
+            self.span_id,
+            self.parent_id,
+            tuple(self.attrs.items()),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "SpanRecord":
+        name, start, duration, cpu, pid, tid, span_id, parent_id, attrs = wire
+        return cls(
+            name=name,
+            start=start,
+            duration=duration,
+            cpu=cpu,
+            pid=pid,
+            tid=tid,
+            span_id=span_id,
+            parent_id=parent_id,
+            attrs=dict(attrs),
+        )
+
+
+class _State:
+    __slots__ = ("tracing", "metrics")
+
+    def __init__(self) -> None:
+        self.tracing = False
+        self.metrics = False
+
+
+_state = _State()
+_lock = threading.Lock()
+_finished: list[SpanRecord] = []
+_ids = itertools.count(1)
+_local = threading.local()
+
+
+def is_tracing() -> bool:
+    """Whether spans are being recorded (the hot-path gate)."""
+    return _state.tracing
+
+
+def is_metrics() -> bool:
+    """Whether the metrics registry is being updated."""
+    return _state.metrics
+
+
+def enable(*, tracing: bool = True, metrics: bool = True) -> None:
+    """Turn tracing and/or metrics collection on.
+
+    Flags only — existing buffered spans and metric values survive, so
+    enabling mid-run never discards telemetry.
+    """
+    _state.tracing = bool(tracing)
+    _state.metrics = bool(metrics)
+
+
+def disable() -> None:
+    """Turn both tracing and metrics off (buffers are kept; see
+    :func:`repro.obs.reset` to also clear them)."""
+    _state.tracing = False
+    _state.metrics = False
+
+
+def wire_config() -> tuple[bool, bool]:
+    """The enable flags as a picklable snapshot (pool ``initargs``)."""
+    return (_state.tracing, _state.metrics)
+
+
+def configure(config: tuple[bool, bool]) -> None:
+    """Apply a :func:`wire_config` snapshot (worker-side initializer)."""
+    tracing, metrics = config
+    _state.tracing = bool(tracing)
+    _state.metrics = bool(metrics)
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def _next_id() -> str:
+    return f"{os.getpid()}:{next(_ids)}"
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_start", "_cpu")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _next_id()
+        self.parent_id: str | None = None
+        self._start = 0.0
+        self._cpu = 0.0
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes discovered inside the region."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self._cpu = time.process_time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        cpu = time.process_time() - self._cpu
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = SpanRecord(
+            name=self.name,
+            start=self._start,
+            duration=duration,
+            cpu=cpu,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            attrs=self.attrs,
+        )
+        with _lock:
+            _finished.append(record)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one named region (no-op when disabled).
+
+    Attributes are free-form JSON-compatible values; more can be added
+    inside the region via ``.set(**attrs)`` on the yielded span.
+    """
+    if not _state.tracing:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an instantaneous (zero-duration) span."""
+    if not _state.tracing:
+        return
+    now = time.perf_counter()
+    stack = _stack()
+    record = SpanRecord(
+        name=name,
+        start=now,
+        duration=0.0,
+        cpu=0.0,
+        pid=os.getpid(),
+        tid=threading.get_ident(),
+        span_id=_next_id(),
+        parent_id=stack[-1].span_id if stack else None,
+        attrs=attrs,
+    )
+    with _lock:
+        _finished.append(record)
+
+
+def add_record(record: SpanRecord) -> None:
+    """Append an externally built span record (timeline-derived spans)."""
+    with _lock:
+        _finished.append(record)
+
+
+def drain_spans() -> list[SpanRecord]:
+    """Remove and return every buffered finished span."""
+    with _lock:
+        out = _finished[:]
+        _finished.clear()
+    return out
+
+
+def spans_to_wire(records: Iterable[SpanRecord]) -> tuple:
+    """Picklable wire form of ``records``."""
+    return tuple(record.to_wire() for record in records)
+
+
+def spans_from_wire(wire: Iterable[tuple]) -> list[SpanRecord]:
+    """Decode :func:`spans_to_wire` output."""
+    return [SpanRecord.from_wire(entry) for entry in wire]
+
+
+def drain_wire_spans() -> tuple:
+    """Drain the buffer directly to wire form (worker hot path)."""
+    return spans_to_wire(drain_spans())
+
+
+def absorb_spans(wire: Iterable[tuple]) -> None:
+    """Fold a worker's shipped spans into this process's buffer."""
+    records = spans_from_wire(wire)
+    with _lock:
+        _finished.extend(records)
+
+
+def _clear() -> None:
+    """Drop buffered spans (used by :func:`repro.obs.reset`)."""
+    with _lock:
+        _finished.clear()

@@ -1,0 +1,156 @@
+"""The span schema, and a validator for exported trace files.
+
+One schema, two file shapes: the JSONL span sink (one
+:data:`SPAN_SCHEMA` object per line) and the Chrome trace-event JSON
+(``{"traceEvents": [...]}`` of complete events derived from the same
+spans).  :func:`validate_trace_file` sniffs which one it was handed and
+checks every record, so CI can gate ``repro collect --trace`` output
+with::
+
+    python -m repro.obs.schema trace.json
+
+No third-party JSON-Schema engine is involved — the checks are plain
+Python over the same field table the docs show, which keeps the
+validator importable everywhere the package runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from typing import Any
+
+__all__ = ["SPAN_SCHEMA", "validate_chrome_event", "validate_span",
+           "validate_trace_file"]
+
+#: Field table of one exported span: name -> (types, required, predicate).
+SPAN_SCHEMA: dict[str, tuple] = {
+    "name": (str, True, lambda v: len(v) > 0),
+    "start": (numbers.Real, True, lambda v: v >= 0),
+    "duration": (numbers.Real, True, lambda v: v >= 0),
+    "cpu": (numbers.Real, True, lambda v: v >= 0),
+    "pid": (int, True, lambda v: v >= 0),
+    "tid": (int, True, lambda v: True),
+    "span_id": (str, True, lambda v: len(v) > 0),
+    "parent_id": ((str, type(None)), False, lambda v: True),
+    "attrs": (dict, False, lambda v: all(isinstance(k, str) for k in v)),
+}
+
+
+def _check(obj: dict, schema: dict[str, tuple], where: str) -> None:
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected a JSON object, got "
+                         f"{type(obj).__name__}")
+    for field, (types, required, predicate) in schema.items():
+        if field not in obj:
+            if required:
+                raise ValueError(f"{where}: missing required field "
+                                 f"{field!r}")
+            continue
+        value = obj[field]
+        if isinstance(value, bool) and not (
+            isinstance(types, tuple) and bool in types
+        ):
+            # bool is an int subclass; a boolean pid/tid is a bug.
+            raise ValueError(f"{where}: field {field!r} has bad type bool")
+        if not isinstance(value, types):
+            raise ValueError(
+                f"{where}: field {field!r} has bad type "
+                f"{type(value).__name__}"
+            )
+        if value is not None and not predicate(value):
+            raise ValueError(f"{where}: field {field!r} fails its "
+                             f"constraint (got {value!r})")
+    unknown = set(obj) - set(schema)
+    if unknown:
+        raise ValueError(f"{where}: unknown fields {sorted(unknown)}")
+
+
+def validate_span(obj: Any, where: str = "span") -> None:
+    """Raise :class:`ValueError` unless ``obj`` is a valid span dict."""
+    _check(obj, SPAN_SCHEMA, where)
+
+
+_CHROME_EVENT_SCHEMA: dict[str, tuple] = {
+    "name": (str, True, lambda v: len(v) > 0),
+    "ph": (str, True, lambda v: v == "X"),
+    "ts": (numbers.Real, True, lambda v: v >= 0),
+    "dur": (numbers.Real, True, lambda v: v >= 0),
+    "pid": (int, True, lambda v: v >= 0),
+    "tid": (int, True, lambda v: True),
+    "args": (dict, False, lambda v: all(isinstance(k, str) for k in v)),
+}
+
+
+def validate_chrome_event(obj: Any, where: str = "event") -> None:
+    """Raise :class:`ValueError` unless ``obj`` is a valid complete
+    ("X") trace event as this package exports them."""
+    _check(obj, _CHROME_EVENT_SCHEMA, where)
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace file (Chrome JSON or spans JSONL) in place.
+
+    Returns the number of validated records; raises
+    :class:`ValueError` on the first invalid one (with its location)
+    and on files containing no records at all — an empty trace from a
+    run that was supposed to be traced is itself a bug.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    if not text.strip():
+        raise ValueError(f"{path}: empty trace file")
+    # One JSON document that parses whole is the Chrome shape (or a
+    # single-span JSONL file); anything multi-line that does not parse
+    # as one document is treated as JSONL.
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        events = document["traceEvents"]
+        if not isinstance(events, list):
+            raise ValueError(f"{path}: traceEvents is not an array")
+        for index, event in enumerate(events):
+            validate_chrome_event(event, where=f"{path}: traceEvents[{index}]")
+        count = len(events)
+    elif isinstance(document, dict):
+        validate_span(document, where=f"{path}:1")
+        count = 1
+    elif document is not None:
+        raise ValueError(f"{path}: expected a trace object or JSONL spans")
+    else:
+        count = 0
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            validate_span(json.loads(line), where=f"{path}:{number}")
+            count += 1
+    if count == 0:
+        raise ValueError(f"{path}: trace contains no records")
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate an exported repro.obs trace file "
+                    "(Chrome trace JSON or spans JSONL)."
+    )
+    parser.add_argument("paths", nargs="+", help="trace file(s) to validate")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            count = validate_trace_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"INVALID {path}: {error}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"ok {path}: {count} record(s)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -207,13 +207,20 @@ class CompiledCircuit:
         processes); counts are independent of the worker count.  Extra
         keyword ``overrides`` patch ``options`` (e.g. ``workers=4``).
         """
+        import repro.obs as obs
         from repro.engine.collector import collect as engine_collect
 
         options = ExecutionOptions.resolve(options, **overrides)
         task = self.task(
             max_shots=max_shots, max_errors=max_errors, metadata=metadata
         )
-        return engine_collect([task], options=options)[0]
+        with obs.span(
+            "circuit.collect",
+            sampler=self.sampler_name,
+            decoder=self.decoder_name,
+            max_shots=max_shots,
+        ):
+            return engine_collect([task], options=options)[0]
 
     def logical_error_rate(
         self,

@@ -218,10 +218,15 @@ class Sweep:
         :class:`~repro.study.result.SweepResult` over one
         ``TaskStats`` per task.
         """
+        import repro.obs as obs
         from repro.engine.collector import collect as engine_collect
 
         options = ExecutionOptions.resolve(options, **overrides)
-        return SweepResult(engine_collect(self.tasks(), options=options))
+        tasks = self.tasks()
+        with obs.span(
+            "sweep.collect", tasks=len(tasks), workers=options.workers
+        ):
+            return SweepResult(engine_collect(tasks, options=options))
 
 
 def run(
@@ -236,7 +241,12 @@ def run(
     """
     if isinstance(sweep, Sweep):
         return sweep.collect(options, **overrides)
+    import repro.obs as obs
     from repro.engine.collector import collect as engine_collect
 
     options = ExecutionOptions.resolve(options, **overrides)
-    return SweepResult(engine_collect(list(sweep), options=options))
+    tasks = list(sweep)
+    with obs.span(
+        "sweep.collect", tasks=len(tasks), workers=options.workers
+    ):
+        return SweepResult(engine_collect(tasks, options=options))

@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
+import repro.obs as obs
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_slate():
+    """Telemetry state is process-global; no test may leak it."""
+    obs.reset()
+    yield
+    obs.reset()

@@ -161,6 +161,38 @@ class TestResume:
         assert (loaded.shots, loaded.errors, loaded.chunks) == (1000, 7, 2)
         assert loaded.wilson() == stats.wilson()
 
+    def test_pre_telemetry_row_defaults_new_fields(self, tmp_path):
+        """A store written before the telemetry fields existed must
+        resume cleanly, with queue-wait/hold/transport at zero."""
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"task_id": "t1", "decoder": "matching", "sampler": '
+            '"symphase", "metadata": {"d": 3}, "shots": 1000, "errors": 7,'
+            ' "seconds": 1.5, "chunks": 2, "base_seed": 11,'
+            ' "worker_seconds": 1.2, "sample_seconds": 0.4,'
+            ' "decode_seconds": 0.7, "error_rate": 0.007,'
+            ' "wilson_low": 0.003, "wilson_high": 0.014}\n'
+        )
+        loaded = ResultStore(path).load()["t1"]
+        assert loaded.resumed
+        assert (loaded.shots, loaded.errors) == (1000, 7)
+        assert loaded.queue_wait_seconds == 0.0
+        assert loaded.hold_seconds == 0.0
+        assert loaded.transport_bytes == 0
+
+    def test_telemetry_fields_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = TaskStats(
+            "t1", "matching", "symphase", shots=100, errors=1,
+            queue_wait_seconds=0.25, hold_seconds=0.125,
+            transport_bytes=4096,
+        )
+        store.append(stats)
+        loaded = store.load()["t1"]
+        assert loaded.queue_wait_seconds == 0.25
+        assert loaded.hold_seconds == 0.125
+        assert loaded.transport_bytes == 4096
+
     def test_missing_store_loads_empty(self, tmp_path):
         assert ResultStore(tmp_path / "absent.jsonl").load() == {}
 

@@ -1,0 +1,129 @@
+"""Span tracing core: enable/disable, nesting, wire round-trip."""
+
+import os
+import pickle
+import threading
+
+import repro.obs as obs
+from repro.obs.core import _NOOP
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop(self):
+        assert obs.span("anything", chunk=3) is _NOOP
+        assert obs.span("other") is _NOOP
+
+    def test_noop_span_records_nothing(self):
+        with obs.span("quiet", a=1) as sp:
+            sp.set(b=2)
+        assert obs.drain_spans() == []
+
+    def test_event_records_nothing(self):
+        obs.event("quiet")
+        assert obs.drain_spans() == []
+
+    def test_flags_default_off(self):
+        assert not obs.is_tracing()
+        assert not obs.is_metrics()
+
+
+class TestEnabledSpans:
+    def test_span_records_fields(self):
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("work", chunk=7) as sp:
+            sp.set(bytes=123)
+        (record,) = obs.drain_spans()
+        assert record.name == "work"
+        assert record.attrs == {"chunk": 7, "bytes": 123}
+        assert record.pid == os.getpid()
+        assert record.tid == threading.get_ident()
+        assert record.duration >= 0.0
+        assert record.cpu >= 0.0
+        assert record.parent_id is None
+
+    def test_nesting_links_parent(self):
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        inner, outer_rec = obs.drain_spans()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+
+    def test_event_is_zero_duration_child(self):
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("outer") as outer:
+            obs.event("mark", k="v")
+        mark, _ = obs.drain_spans()
+        assert mark.duration == 0.0
+        assert mark.parent_id == outer.span_id
+        assert mark.attrs == {"k": "v"}
+
+    def test_drain_empties_buffer(self):
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("once"):
+            pass
+        assert len(obs.drain_spans()) == 1
+        assert obs.drain_spans() == []
+
+    def test_exception_still_records(self):
+        obs.enable(tracing=True, metrics=False)
+        try:
+            with obs.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (record,) = obs.drain_spans()
+        assert record.name == "boom"
+
+
+class TestWireTransport:
+    def test_round_trip_preserves_records(self):
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("a", chunk=1):
+            with obs.span("b"):
+                pass
+        wire = obs.drain_wire_spans()
+        assert pickle.loads(pickle.dumps(wire)) == wire
+        obs.absorb_spans(wire)
+        restored = obs.drain_spans()
+        assert [r.name for r in restored] == ["b", "a"]
+        assert restored[1].attrs == {"chunk": 1}
+        assert restored[0].parent_id == restored[1].span_id
+
+    def test_wire_config_round_trip(self):
+        obs.enable(tracing=True, metrics=False)
+        config = obs.wire_config()
+        obs.disable()
+        obs.configure(config)
+        assert obs.is_tracing() and not obs.is_metrics()
+
+    def test_to_json_matches_schema(self):
+        from repro.obs.schema import validate_span
+
+        obs.enable(tracing=True, metrics=False)
+        with obs.span("checked", chunk=2):
+            pass
+        (record,) = obs.drain_spans()
+        validate_span(record.to_json())
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        obs.enable(tracing=True, metrics=True)
+        with obs.span("gone"):
+            pass
+        obs.counter("gone_total").inc()
+        obs.record_timeline(
+            obs.ChunkTimeline(
+                task_id="t", chunk_index=0, shots=1, pid=1,
+                submitted_at=0.0, started_at=0.0, finished_at=0.0,
+                received_at=0.0, yielded_at=0.0,
+            )
+        )
+        obs.reset()
+        assert not obs.is_tracing() and not obs.is_metrics()
+        assert obs.drain_spans() == []
+        assert obs.drain_timelines() == []
+        assert obs.registry().value("gone_total") is None

@@ -1,0 +1,176 @@
+"""Metrics registry: series identity, wire deltas, merge contract."""
+
+import math
+import pickle
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_rate,
+    safe_rate,
+)
+
+
+class TestSeries:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.value("c") == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("s", stage="sample").inc(1)
+        reg.counter("s", stage="decode").inc(2)
+        assert reg.value("s", stage="sample") == 1
+        assert reg.value("s", stage="decode") == 2
+        assert reg.value("s") is None
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("s", a="1", b="2").inc()
+        assert reg.value("s", b="2", a="1") == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(5)
+        reg.gauge("g").add(-2)
+        assert reg.value("g") == 3
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.0)
+        assert reg.value("h") == 3.0  # histogram value() = count
+
+    def test_histogram_bounds_must_be_sorted(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(2.0, 1.0))
+
+    def test_select_and_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", pid="1", kind="a").inc()
+        reg.counter("c", pid="2", kind="a").inc()
+        reg.counter("other", pid="3").inc()
+        assert reg.label_values("c", "pid") == ["1", "2"]
+        assert len(reg.select("c", kind="a")) == 2
+        assert len(reg.select("c", pid="1")) == 1
+
+
+class TestWire:
+    def test_flush_ships_only_deltas(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        first = worker.flush_wire()
+        assert len(first) == 1
+        # Nothing changed since: nothing ships.
+        assert worker.flush_wire() == ()
+        worker.counter("c").inc(2)
+        (entry,) = worker.flush_wire()
+        kind, name, labels, payload = entry
+        assert (kind, name, payload) == ("counter", "c", 2.0)
+
+    def test_merge_accumulates_across_workers(self):
+        parent = MetricsRegistry()
+        for _ in range(2):
+            worker = MetricsRegistry()
+            worker.counter("shots", pid="w").inc(100)
+            parent.merge_wire(worker.flush_wire())
+        assert parent.value("shots", pid="w") == 200
+
+    def test_merge_then_flush_forwards_only_local_delta(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        parent.merge_wire(worker.flush_wire())
+        # Merged amounts count as shipped at the parent level too.
+        assert parent.flush_wire() == ()
+        parent.counter("c").inc(1)
+        (entry,) = parent.flush_wire()
+        assert entry[3] == 1.0
+
+    def test_histogram_merges_bucket_for_bucket(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.histogram("h").observe(0.003)
+        worker.histogram("h").observe(42.0)
+        parent.merge_wire(worker.flush_wire())
+        h = parent.histogram("h")
+        assert h.count == 2
+        assert h.sum == pytest.approx(42.003)
+        assert h.counts[-1] == 1  # overflow bucket
+
+    def test_histogram_bound_divergence_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(5.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="boundaries diverge"):
+            parent.merge_wire(worker.flush_wire())
+
+    def test_wire_is_picklable(self):
+        worker = MetricsRegistry()
+        worker.counter("c", pid="9").inc()
+        worker.histogram("h").observe(0.1)
+        wire = worker.flush_wire()
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+    def test_gauge_merge_is_last_write(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.gauge("g").set(7)
+        parent.gauge("g").set(1)
+        parent.merge_wire(worker.flush_wire())
+        assert parent.value("g") == 7
+
+
+class TestModuleRegistry:
+    def test_global_wrappers_hit_one_registry(self):
+        obs.enable(tracing=False, metrics=True)
+        obs.counter("t_total", pid="x").inc()
+        assert obs.registry().value("t_total", pid="x") == 1
+        wire = obs.flush_wire()
+        assert len(wire) == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", pid="1").inc()
+        reg.histogram("h").observe(0.2)
+        snap = {entry["name"]: entry for entry in reg.snapshot()}
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["labels"] == {"pid": "1"}
+        assert snap["h"]["count"] == 1
+        assert len(snap["h"]["buckets"]) == len(DEFAULT_BUCKETS)
+
+
+class TestSafeRate:
+    def test_normal_division(self):
+        assert safe_rate(10, 2.0) == 5.0
+
+    @pytest.mark.parametrize("seconds", [0, 0.0, -1.0, math.inf, math.nan])
+    def test_degenerate_denominators(self, seconds):
+        assert safe_rate(100, seconds) is None
+
+    def test_format_rate_dash_when_undefined(self):
+        assert format_rate(100, 0.0) == "-"
+        assert format_rate(12345, 1.0) == "12,345"
+        assert format_rate(1, 3.0, fmt="{:.2f}") == "0.33"

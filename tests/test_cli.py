@@ -222,6 +222,54 @@ class TestCollect:
         assert second.rstrip().endswith("resumed")
         assert len((tmp_path / "results.jsonl").read_text().splitlines()) == 1
 
+    def test_profile_prints_per_worker_table(self, capsys):
+        assert main(self.ARGS + ["--profile", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-worker:" in out
+        assert "compile" in out and "shots/s" in out
+        assert "queue wait" in out
+        assert "transport" in out
+        # Two pool workers each get a row (the parent pid does not).
+        import os
+        table = out.split("per-worker:")[1].strip().splitlines()
+        pids = {line.split()[0] for line in table[1:]}
+        assert len(pids) == 2
+        assert str(os.getpid()) not in pids
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        from repro.obs.schema import validate_trace_file
+
+        trace = str(tmp_path / "trace.json")
+        assert main(self.ARGS + ["--trace", trace]) == 0
+        assert validate_trace_file(trace) > 0
+        import json
+
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert {"task", "chunk", "sample", "decode"} <= names
+
+    def test_trace_jsonl_extension_writes_span_lines(self, tmp_path, capsys):
+        from repro.obs.schema import validate_trace_file
+
+        trace = str(tmp_path / "spans.jsonl")
+        assert main(self.ARGS + ["--trace", trace]) == 0
+        assert validate_trace_file(trace) > 0
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = str(tmp_path / "metrics.prom")
+        assert main(self.ARGS + ["--metrics-out", metrics]) == 0
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE repro_shots_total counter" in text
+        assert "repro_shots_total" in text
+
+    def test_obs_state_restored_after_run(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        trace = str(tmp_path / "trace.json")
+        assert main(self.ARGS + ["--trace", trace, "--profile"]) == 0
+        assert not obs.is_tracing() and not obs.is_metrics()
+        assert obs.drain_spans() == []
+
     def test_workers_match_serial_counts(self, tmp_path, capsys):
         serial = str(tmp_path / "serial.jsonl")
         pooled = str(tmp_path / "pooled.jsonl")
