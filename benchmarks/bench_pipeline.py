@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
 import numpy as np
@@ -35,6 +36,28 @@ import repro.obs as obs
 from repro.engine import ExecutionOptions, Task, collect
 from repro.gf2 import bitops
 from repro.qec import surface_code_memory
+
+
+def host_info() -> dict:
+    """CPU topology facts the scaling numbers are meaningless without.
+
+    ``cpu_affinity`` is what the process may actually use (cgroup/taskset
+    limits included); on a single-core runner the workers-2 leg measures
+    time-slicing, not scaling, and the JSON should say so.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        affinity = None
+    return {"cpu_count": os.cpu_count(), "cpu_affinity": affinity}
+
+
+def usable_cores() -> int:
+    info = host_info()
+    return min(
+        info["cpu_count"] or 1,
+        info["cpu_affinity"] or (info["cpu_count"] or 1),
+    )
 
 
 def _best_of(callable_, repeats: int):
@@ -72,6 +95,8 @@ def run_bench(
     seed: int,
     backend: str,
     workers: int,
+    transport: str = "auto",
+    engine_chunk_factor: int = 8,
 ) -> dict:
     circuit = surface_code_memory(
         distance, rounds,
@@ -107,8 +132,10 @@ def run_bench(
             "n_detectors": compiled.dem.n_detectors,
             "n_observables": compiled.dem.n_observables,
         },
+        "host": host_info(),
         "backend": backend,
         "decoder": "compiled-matching",
+        "transport": transport,
         "shots_per_batch": shots,
         "repeats": repeats,
         "compile_seconds": compile_seconds,
@@ -137,7 +164,7 @@ def run_bench(
     # why it needs several chunks per worker to say anything.
     task = Task(
         circuit, decoder="compiled-matching", sampler=backend,
-        max_shots=shots * 8,
+        max_shots=shots * engine_chunk_factor,
     )
     for pool_workers in (1, workers):
         # Each engine leg runs profiled (repro.obs metrics on), so the
@@ -152,7 +179,8 @@ def run_bench(
             stats = collect(
                 [task],
                 options=ExecutionOptions(
-                    base_seed=seed, workers=pool_workers, chunk_shots=shots
+                    base_seed=seed, workers=pool_workers, chunk_shots=shots,
+                    transport=transport,
                 ),
             )[0]
             wall = time.perf_counter() - started
@@ -188,6 +216,13 @@ def run_bench(
             },
             "per_worker_decode_seconds": per_worker_decode,
         }
+    serial_rate = result["engine_workers_1"]["shots_per_sec"]
+    pooled_rate = result[f"engine_workers_{workers}"]["shots_per_sec"]
+    result["scaling_efficiency"] = (
+        pooled_rate / serial_rate
+        if workers > 1 and serial_rate and pooled_rate
+        else None
+    )
     return result
 
 
@@ -202,6 +237,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default="frame")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument(
+        "--transport", choices=["auto", "pickle", "shm"], default="auto",
+        help="engine-leg wire (same option as `repro collect --transport`)",
+    )
+    parser.add_argument(
+        "--engine-chunk-factor", type=int, default=8,
+        help=(
+            "engine-leg budget in chunks (max_shots = shots * factor); "
+            "raise it so pooled legs amortize pool spin-up when gating "
+            "scaling efficiency"
+        ),
+    )
+    parser.add_argument(
         "--fast", action="store_true",
         help="CI smoke sizing: fewer shots and repeats, same circuit",
     )
@@ -213,6 +260,14 @@ def main(argv: list[str] | None = None) -> int:
         "--min-packed-speedup", type=float, default=None,
         help="exit nonzero unless packed/unpacked >= this ratio",
     )
+    parser.add_argument(
+        "--min-scaling-efficiency", type=float, default=None,
+        help=(
+            "exit nonzero unless pooled/serial engine throughput >= this "
+            "ratio; auto-skipped (recorded as skipped_single_core) when "
+            "fewer than 2 usable cores"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.fast:
         args.shots = min(args.shots, 2048)
@@ -221,6 +276,13 @@ def main(argv: list[str] | None = None) -> int:
     result = run_bench(
         args.distance, args.rounds, args.p, args.shots, args.repeats,
         args.seed, args.backend, args.workers,
+        transport=args.transport,
+        engine_chunk_factor=args.engine_chunk_factor,
+    )
+    # Single-core runners time-slice the pooled leg; their workers-2
+    # numbers measure contention, not scaling, and the JSON says so.
+    result["scaling_gate"] = (
+        "skipped_single_core" if usable_cores() < 2 else "measured"
     )
 
     meta = result["circuit"]
@@ -252,6 +314,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"packed end-to-end speedup: "
           f"{'-' if speedup is None else format(speedup, '.2f') + 'x'} "
           f"(errors identical: {result['errors_identical']})")
+    efficiency = result["scaling_efficiency"]
+    print(f"scaling efficiency (workers={args.workers}, "
+          f"transport={args.transport}): "
+          f"{'-' if efficiency is None else format(efficiency, '.2f') + 'x'} "
+          f"[{result['scaling_gate']}, "
+          f"cpu_count={result['host']['cpu_count']}, "
+          f"affinity={result['host']['cpu_affinity']}]")
 
     if args.out:
         with open(args.out, "w") as handle:
@@ -267,6 +336,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: packed speedup below required "
               f"{args.min_packed_speedup}x")
         return 1
+    if args.min_scaling_efficiency is not None:
+        if result["scaling_gate"] == "skipped_single_core":
+            print("scaling gate skipped: fewer than 2 usable cores")
+        elif efficiency is None or efficiency < args.min_scaling_efficiency:
+            print(f"FAIL: scaling efficiency below required "
+                  f"{args.min_scaling_efficiency}x")
+            return 1
     return 0
 
 

@@ -135,6 +135,61 @@ def add_seed_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _chunk_shots(value: str) -> "int | str":
+    """``--chunk-shots`` parser: a positive int, or ``auto`` to let the
+    adaptive sizer steer chunk sizes toward a target latency."""
+    if value == "auto":
+        return value
+    try:
+        shots = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if shots < 1:
+        raise argparse.ArgumentTypeError("chunk shots must be positive")
+    return shots
+
+
+def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine execution knobs every collection command shares."""
+    parser.add_argument(
+        "--chunk-shots", type=_chunk_shots, default=2_000,
+        help=(
+            "shots per derived-seed chunk (default 2000; part of the "
+            "statistical protocol, keep fixed across runs sharing a "
+            "store), or 'auto' for adaptive latency-targeted sizing"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; counts are identical either way)",
+    )
+    parser.add_argument(
+        "--transport", choices=["auto", "pickle", "shm"], default="auto",
+        help=(
+            "pooled-run wire: shared-memory slab arena (shm), classic "
+            "pickle, or auto-detect (default; REPRO_TRANSPORT env var "
+            "overrides).  Counts are bitwise identical either way"
+        ),
+    )
+
+
+def _execution_options(args: argparse.Namespace, **extra):
+    """Build :class:`ExecutionOptions` from parsed shared arguments."""
+    from repro.study import ExecutionOptions
+
+    adaptive = args.chunk_shots == "auto"
+    return ExecutionOptions(
+        base_seed=args.seed,
+        workers=args.workers,
+        chunk_shots=2_000 if adaptive else args.chunk_shots,
+        adaptive_chunks=adaptive,
+        transport=args.transport,
+        **extra,
+    )
+
+
 def _load(path: str) -> Circuit:
     with open(path) as handle:
         return Circuit.from_text(handle.read())
@@ -202,17 +257,11 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     out across ``--workers`` processes, each sampling detectors with the
     chosen backend and decoding them with the registry-resolved decoder.
     """
-    from repro.study import ExecutionOptions
-
     compiled = _load(args.circuit).compile(
         sampler=args.backend, decoder=args.decoder
     )
     stats = compiled.collect(
-        ExecutionOptions(
-            base_seed=args.seed,
-            workers=args.workers,
-            chunk_shots=args.chunk_shots,
-        ),
+        _execution_options(args),
         max_shots=args.shots,
         max_errors=args.max_errors,
     )
@@ -384,7 +433,7 @@ def _print_worker_profile() -> None:
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
-    from repro.study import ExecutionOptions, run
+    from repro.study import run
 
     # Materialize once: circuit construction is per-grid-point work and
     # both the banner and the run need the task list.
@@ -428,13 +477,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     try:
         result = run(
             tasks,
-            ExecutionOptions(
-                base_seed=args.seed,
-                workers=args.workers,
-                chunk_shots=args.chunk_shots,
-                store=args.out,
-                progress=report,
-            ),
+            _execution_options(args, store=args.out, progress=report),
         )
         if args.profile:
             _print_profile(result.stats)
@@ -515,8 +558,7 @@ def main(argv: list[str] | None = None) -> int:
         "--max-errors", type=int, default=None,
         help="stop early once this many logical errors accumulate",
     )
-    decode_parser.add_argument("--chunk-shots", type=int, default=2_000)
-    decode_parser.add_argument("--workers", type=int, default=1)
+    add_execution_arguments(decode_parser)
     add_seed_argument(decode_parser)
 
     collect_parser = sub.add_parser(
@@ -557,11 +599,7 @@ def main(argv: list[str] | None = None) -> int:
         "--max-errors", type=int, default=None,
         help="stop a task early once this many logical errors accumulate",
     )
-    collect_parser.add_argument("--chunk-shots", type=int, default=2_000)
-    collect_parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (1 = serial; counts are identical either way)",
-    )
+    add_execution_arguments(collect_parser)
     add_seed_argument(collect_parser)
     collect_parser.add_argument(
         "--out", default=None,

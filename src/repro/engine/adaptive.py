@@ -1,0 +1,87 @@
+"""Adaptive chunk sizing: a latency-target feedback controller.
+
+Fixed ``chunk_shots`` forces one choice onto every (circuit, machine)
+pair: too small and per-chunk scheduling overhead (headers, queue hops,
+reorder bookkeeping) dominates; too big and the bounded in-flight
+window stalls on a handful of long chunks while the early-stop overrun
+grows.  :class:`AdaptiveChunkSizer` closes the loop the ``--profile``
+timings already measure: it tracks the observed shots-per-second per
+chunk as an EWMA and steers the next chunk's shot count toward a target
+per-chunk latency, clamped to ``[min_shots, max_shots]`` and rate-limited
+to at most ``max_step``× growth or shrink per observation so one noisy
+chunk cannot slam the size across its whole range.
+
+Adaptive sizing changes *which* shots are drawn (exactly like passing a
+different ``chunk_shots`` — the derived-seed scheme keys the RNG per
+chunk), so it is opt-in via ``ExecutionOptions.adaptive_chunks`` and
+runs that share a result store should keep it consistently on or off.
+Counts remain valid Monte-Carlo samples either way; serial-vs-pooled
+bitwise identity applies to the fixed-size protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AdaptiveChunkSizer:
+    """Steer chunk shot counts toward a target per-chunk latency.
+
+    Thread-safe: the collector observes finished chunks on the consumer
+    side while the runner's feeder thread asks for the next size.
+    """
+
+    def __init__(
+        self,
+        initial: int,
+        target_seconds: float = 0.25,
+        min_shots: int = 256,
+        max_shots: int = 65_536,
+        smoothing: float = 0.5,
+        max_step: float = 2.0,
+    ):
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        if not 1 <= min_shots <= max_shots:
+            raise ValueError("need 1 <= min_shots <= max_shots")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        if max_step <= 1:
+            raise ValueError("max_step must exceed 1")
+        self.target_seconds = target_seconds
+        self.min_shots = min_shots
+        self.max_shots = max_shots
+        self.smoothing = smoothing
+        self.max_step = max_step
+        self._lock = threading.Lock()
+        self._shots = self._clamp(initial)
+        self._rate: float | None = None  # EWMA shots/sec
+        self.observations = 0
+
+    def _clamp(self, shots: float) -> int:
+        return int(min(max(shots, self.min_shots), self.max_shots))
+
+    def next_shots(self) -> int:
+        """The size the next planned chunk should use."""
+        with self._lock:
+            return self._shots
+
+    def observe(self, shots: int, seconds: float) -> None:
+        """Fold one finished chunk's (shots, in-worker seconds) in."""
+        if shots <= 0 or seconds <= 0:
+            return
+        rate = shots / seconds
+        with self._lock:
+            self.observations += 1
+            if self._rate is None:
+                self._rate = rate
+            else:
+                self._rate = (
+                    self.smoothing * rate + (1 - self.smoothing) * self._rate
+                )
+            ideal = self._rate * self.target_seconds
+            stepped = min(
+                max(ideal, self._shots / self.max_step),
+                self._shots * self.max_step,
+            )
+            self._shots = self._clamp(stepped)

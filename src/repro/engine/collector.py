@@ -29,7 +29,13 @@ import repro.obs as obs
 from repro.decoders.metrics import wilson_interval
 from repro.engine.options import UNSET, ExecutionOptions, explicit_kwargs
 from repro.engine.tasks import Task
-from repro.engine.workers import ChunkRunner, plan_chunks
+from repro.engine.adaptive import AdaptiveChunkSizer
+from repro.engine.workers import (
+    ChunkRunner,
+    plan_chunks,
+    plan_chunks_adaptive,
+    warm_spec,
+)
 
 
 @dataclass
@@ -177,6 +183,8 @@ def collect(
     store: ResultStore | str | os.PathLike | None = UNSET,
     progress: Callable[[TaskStats], None] | None = UNSET,
     profile: bool = UNSET,
+    transport: str = UNSET,
+    adaptive_chunks: bool = UNSET,
 ) -> list[TaskStats]:
     """Collect statistics for every task; returns one TaskStats per task.
 
@@ -203,6 +211,12 @@ def collect(
     * ``profile`` — enable :mod:`repro.obs` metrics for this run
       (restored afterwards; the registry is left populated for the
       caller).  Observational only — counts are unaffected.
+    * ``transport`` — pooled-run wire: ``"pickle"``, ``"shm"``, or
+      ``"auto"`` (default).  Counts are bitwise identical either way.
+    * ``adaptive_chunks`` — steer chunk sizes toward
+      ``options.target_chunk_seconds`` instead of fixed
+      ``chunk_shots``; changes which shots are drawn, so off by
+      default (see :class:`~repro.engine.options.ExecutionOptions`).
     """
     passed = explicit_kwargs(
         base_seed=base_seed,
@@ -212,6 +226,8 @@ def collect(
         store=store,
         progress=progress,
         profile=profile,
+        transport=transport,
+        adaptive_chunks=adaptive_chunks,
     )
     if options is None:
         options = ExecutionOptions(**passed)
@@ -241,7 +257,9 @@ def collect(
 
     results: list[TaskStats] = []
     try:
-        with ChunkRunner(workers=options.workers) as runner:
+        with ChunkRunner(
+            workers=options.workers, transport=options.transport
+        ) as runner:
             for task in task_list:
                 task_id = task.strong_id()
                 stored = completed.get(task_id)
@@ -259,13 +277,11 @@ def collect(
                     if progress is not None:
                         progress(stored)
                     continue
-                stats = _collect_one(
-                    task,
-                    runner,
-                    run_seed,
-                    options.chunk_shots,
-                    options.max_errors,
-                )
+                # Pooled runs pre-compile the task's circuit on every
+                # worker before its first chunk (a no-op serially and
+                # for already-warmed triples).
+                runner.warm(warm_spec(task, run_seed))
+                stats = _collect_one(task, runner, run_seed, options)
                 if store is not None:
                     store.append(stats)
                 results.append(stats)
@@ -281,8 +297,7 @@ def _collect_one(
     task: Task,
     runner: ChunkRunner,
     base_seed: int,
-    chunk_shots: int,
-    default_max_errors: int | None = None,
+    options: ExecutionOptions,
 ) -> TaskStats:
     """Run one task's chunks through the runner with ordered early stop."""
     stats = TaskStats(
@@ -293,14 +308,26 @@ def _collect_one(
         base_seed=base_seed,
     )
     max_errors = (
-        task.max_errors if task.max_errors is not None else default_max_errors
+        task.max_errors if task.max_errors is not None else options.max_errors
     )
-    specs = plan_chunks(task, base_seed, chunk_shots)
+    sizer = None
+    if options.adaptive_chunks:
+        sizer = AdaptiveChunkSizer(
+            initial=options.chunk_shots,
+            target_seconds=options.target_chunk_seconds,
+            min_shots=options.min_chunk_shots,
+            max_shots=options.max_chunk_shots,
+        )
+        specs = plan_chunks_adaptive(task, base_seed, sizer)
+    else:
+        specs = plan_chunks(task, base_seed, options.chunk_shots)
     wall_start = time.perf_counter()
     with obs.span(
         "task", task=stats.task_id, decoder=task.decoder, sampler=task.sampler
     ) as task_sp:
         for result in runner.run(specs):
+            if sizer is not None:
+                sizer.observe(result.shots, result.seconds)
             stats.shots += result.shots
             stats.errors += result.errors
             stats.chunks += 1

@@ -67,6 +67,18 @@ class ExecutionOptions:
       of the run (flags restored afterwards; the registry is left
       intact for the caller to read).  Purely observational: no effect
       on the collected counts.
+    * ``transport`` — parent-worker wire for pooled runs: ``"pickle"``,
+      ``"shm"`` (shared-memory slab arena, header-only pickles), or
+      ``"auto"`` (shm when the host supports it, overridable via the
+      ``REPRO_TRANSPORT`` environment variable).  Counts are bitwise
+      identical on every wire; this is purely a performance choice.
+    * ``adaptive_chunks`` — let an
+      :class:`~repro.engine.adaptive.AdaptiveChunkSizer` steer chunk
+      sizes toward ``target_chunk_seconds`` within
+      ``[min_chunk_shots, max_chunk_shots]``.  Changes *which* shots
+      are drawn (exactly like changing ``chunk_shots``), so it is
+      off by default and should stay consistently on or off across
+      runs that share a store.
     """
 
     workers: int = 1
@@ -78,6 +90,11 @@ class ExecutionOptions:
         default=None, compare=False
     )
     profile: bool = False
+    transport: str = "auto"
+    adaptive_chunks: bool = False
+    target_chunk_seconds: float = 0.25
+    min_chunk_shots: int = 256
+    max_chunk_shots: int = 65_536
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -86,6 +103,17 @@ class ExecutionOptions:
             raise ValueError("chunk_shots must be positive")
         if self.max_errors is not None and self.max_errors < 1:
             raise ValueError("max_errors must be positive when set")
+        if self.transport not in ("auto", "pickle", "shm"):
+            raise ValueError(
+                "transport must be 'auto', 'pickle' or 'shm', "
+                f"got {self.transport!r}"
+            )
+        if self.target_chunk_seconds <= 0:
+            raise ValueError("target_chunk_seconds must be positive")
+        if not 1 <= self.min_chunk_shots <= self.max_chunk_shots:
+            raise ValueError(
+                "need 1 <= min_chunk_shots <= max_chunk_shots"
+            )
 
     def replace(self, **changes: Any) -> "ExecutionOptions":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""

@@ -1,0 +1,306 @@
+"""Zero-copy chunk transport over POSIX shared memory.
+
+The pool's pickle wire is the scaling bottleneck PR 6's telemetry
+attributed: every chunk re-ships the circuit's ~4KB text serialization
+out and a telemetry-laden result back, ~129KB per small run.  This
+module moves both payloads into ``multiprocessing.shared_memory``
+segments so only tiny headers cross the process boundary:
+
+* **Blob slab** — an append-only arena of write-once byte blobs, keyed
+  and deduplicated (circuit texts keyed by fingerprint).  The parent
+  writes each distinct circuit exactly once; chunk headers carry a
+  ``(segment, offset, length)`` :class:`BlobRef` instead of the text.
+* **Result slots** — a fixed ring of per-in-flight-chunk slots the
+  workers write their piggybacked telemetry wire into (the bulk of a
+  profiled run's result payload), so the pickled ``ChunkResult`` going
+  back through the pool queue stays header-sized.
+
+Slot writes are guarded by a per-run token: a stale write from an
+abandoned run's still-draining chunk can never be confused with the
+current run's payload (the parent drops token mismatches and undecodable
+slots — telemetry is lossy by design, counts never travel through
+slots).
+
+Lifecycle: the parent creates and owns every segment and unlinks them
+all in :meth:`SlabArena.close` — called from ``ChunkRunner.__exit__``
+on *every* exit path and backstopped by a ``weakref.finalize`` — so a
+failed or interrupted run leaves nothing in ``/dev/shm``.  Workers only
+ever attach by name (and unregister their attachment from the resource
+tracker, which on CPython < 3.13 would otherwise double-unlink and warn
+at exit).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import struct
+import threading
+import weakref
+from typing import NamedTuple
+
+import repro.obs as obs
+
+try:  # pragma: no cover - import guard exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm
+    _shared_memory = None
+
+#: Segment name prefix; the leak test (and operators) can audit
+#: ``/dev/shm/repro_*`` against it.
+SEGMENT_PREFIX = "repro_"
+
+#: Slot header: (run token, payload length), both uint64 little-endian.
+_SLOT_HEADER = struct.Struct("<QQ")
+
+_segment_counter = itertools.count()
+
+_available: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether this platform can create + attach shared-memory segments.
+
+    Probed once per process with a tiny create/close/unlink round trip
+    (import success alone does not guarantee a usable ``/dev/shm`` —
+    locked-down containers exist).
+    """
+    global _available
+    if _available is None:
+        if _shared_memory is None:
+            _available = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(
+                    name=f"{SEGMENT_PREFIX}probe_{os.getpid()}",
+                    create=True,
+                    size=16,
+                )
+                probe.close()
+                probe.unlink()
+                _available = True
+            except (OSError, ValueError):
+                _available = False
+    return _available
+
+
+class BlobRef(NamedTuple):
+    """Where a write-once blob lives: segment name, offset, length."""
+
+    segment: str
+    offset: int
+    length: int
+
+
+class SlotRef(NamedTuple):
+    """One result slot: segment name, offset, capacity (incl. header)."""
+
+    segment: str
+    offset: int
+    size: int
+
+
+def _new_segment(size: int):
+    name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_segment_counter)}"
+    return _shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+def _unlink_segments(segments: list) -> None:
+    """Close + unlink, ignoring already-gone segments (idempotent)."""
+    for segment in segments:
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        try:
+            segment.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+    segments.clear()
+
+
+class SlabArena:
+    """Parent-side owner of the shared-memory transport segments.
+
+    One arena per pooled :class:`~repro.engine.workers.ChunkRunner`
+    context: a growable list of blob slabs plus one fixed slot segment
+    sized ``slot_count * slot_bytes``.  All mutation happens on the
+    parent (feeder/consumer threads — internally locked); workers only
+    read blobs and write into their assigned slot.
+    """
+
+    def __init__(
+        self,
+        slot_count: int,
+        slot_bytes: int = 1 << 16,
+        slab_bytes: int = 1 << 20,
+    ):
+        if not shm_available():
+            raise RuntimeError("shared memory is not available on this host")
+        if slot_count < 1 or slot_bytes <= _SLOT_HEADER.size:
+            raise ValueError("need at least one usable result slot")
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self.slab_bytes = slab_bytes
+        self._lock = threading.Lock()
+        self._segments: list = []
+        self._blobs: dict[object, BlobRef] = {}
+        self._slab = None  # current blob slab (SharedMemory)
+        self._slab_used = 0
+        self._slots = _new_segment(slot_count * slot_bytes)
+        self._segments.append(self._slots)
+        # Safety net: unlink at GC / interpreter exit even if close()
+        # was never reached (close() detaches the finalizer).
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments
+        )
+        if obs.is_metrics():
+            obs.counter("repro_shm_segments_total").inc()
+            obs.gauge("repro_shm_arena_bytes").set(self.capacity_bytes)
+
+    # -- blobs -----------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        with self._lock:
+            return sum(segment.size for segment in self._segments)
+
+    def put_blob(self, key, data: bytes) -> BlobRef:
+        """Write ``data`` once under ``key``; later puts return the
+        first ref (write-once semantics make concurrent reads safe)."""
+        with self._lock:
+            ref = self._blobs.get(key)
+            if ref is not None:
+                return ref
+            if self._slab is None or (
+                self._slab.size - self._slab_used < len(data)
+            ):
+                self._slab = _new_segment(max(self.slab_bytes, len(data)))
+                self._segments.append(self._slab)
+                self._slab_used = 0
+                if obs.is_metrics():
+                    obs.counter("repro_shm_segments_total").inc()
+            offset = self._slab_used
+            self._slab.buf[offset : offset + len(data)] = data
+            self._slab_used += len(data)
+            ref = BlobRef(self._slab.name, offset, len(data))
+            self._blobs[key] = ref
+        if obs.is_metrics():
+            obs.counter("repro_shm_blob_bytes_total").inc(len(data))
+            obs.gauge("repro_shm_arena_bytes").set(self.capacity_bytes)
+        return ref
+
+    def has_blob(self, key) -> bool:
+        with self._lock:
+            return key in self._blobs
+
+    # -- result slots ----------------------------------------------------
+
+    def slot_ref(self, slot_id: int) -> SlotRef:
+        if not 0 <= slot_id < self.slot_count:
+            raise IndexError(f"slot {slot_id} out of range")
+        return SlotRef(
+            self._slots.name, slot_id * self.slot_bytes, self.slot_bytes
+        )
+
+    def read_slot(self, slot_id: int, token: int) -> bytes | None:
+        """The payload a worker wrote into ``slot_id`` for run ``token``,
+        or ``None`` for a stale/foreign/over-long write."""
+        offset = slot_id * self.slot_bytes
+        buf = self._slots.buf
+        written_token, length = _SLOT_HEADER.unpack_from(buf, offset)
+        if written_token != token:
+            return None
+        if length > self.slot_bytes - _SLOT_HEADER.size:
+            return None
+        start = offset + _SLOT_HEADER.size
+        return bytes(buf[start : start + length])
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; safe mid-run on POSIX —
+        attached workers keep their mappings until they exit)."""
+        self._finalizer.detach()
+        with self._lock:
+            self._slab = None
+            self._blobs.clear()
+            _unlink_segments(self._segments)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return not self._segments
+
+    def __enter__(self) -> "SlabArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- worker side -------------------------------------------------------------
+
+_ATTACHED: dict[str, object] = {}
+
+
+def _attach(name: str):
+    """Attach (and cache) a segment by name in this process.
+
+    The attachment must not register with the resource tracker: the
+    parent already owns the segment, and on CPython < 3.13 attaching
+    registers the name again — under ``fork`` the tracker process is
+    *shared* with the parent, so either the duplicate registration
+    re-unlinks at worker exit or a compensating ``unregister`` knocks
+    out the parent's own entry.  Python 3.13 exposes ``track=False``;
+    earlier versions get the standard workaround of stubbing
+    ``resource_tracker.register`` for the duration of the attach
+    (workers attach single-threaded, so the swap is race-free).
+    """
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=False, track=False
+            )
+        except TypeError:  # track= arrived in 3.13
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = _shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                resource_tracker.register = original
+        _ATTACHED[name] = segment
+    return segment
+
+
+def read_blob(ref: BlobRef) -> bytes:
+    """A blob's bytes, read through this process's cached attachment."""
+    segment = _attach(ref.segment)
+    return bytes(segment.buf[ref.offset : ref.offset + ref.length])
+
+
+def write_slot(ref: SlotRef, token: int, payload: bytes) -> bool:
+    """Write ``payload`` into a result slot; ``False`` when it does not
+    fit (the caller falls back to the pickle wire)."""
+    if len(payload) > ref.size - _SLOT_HEADER.size:
+        return False
+    segment = _attach(ref.segment)
+    start = ref.offset + _SLOT_HEADER.size
+    segment.buf[start : start + len(payload)] = payload
+    # Header last: a reader that raced ahead sees the old token, not a
+    # token pointing at half-written bytes.
+    _SLOT_HEADER.pack_into(segment.buf, ref.offset, token, len(payload))
+    return True
+
+
+def detach_all() -> None:
+    """Drop this process's cached attachments (tests / worker teardown)."""
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    _ATTACHED.clear()

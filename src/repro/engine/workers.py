@@ -10,7 +10,21 @@ and still produce exactly the same :class:`ChunkResult`.
 Workers keep a process-global :class:`~repro.engine.cache.SamplerCache`;
 the first chunk of a circuit a worker sees pays Algorithm 1's
 Initialization (plus DEM extraction and decoder construction), every
-later chunk is pure Eq. 4 sampling + decoding.
+later chunk is pure Eq. 4 sampling + decoding.  A pooled runner can
+also *warm* that cache up front — :meth:`ChunkRunner.warm` broadcasts
+one "compile this fingerprint" task to every worker (a barrier forces
+distribution), so ``backend.compile`` runs once per worker per circuit
+before the first real chunk instead of serializing into it.
+
+Transport between parent and workers is selectable
+(``transport="pickle" | "shm" | "auto"``): the classic pickle wire
+ships each spec whole, while the shared-memory wire
+(:mod:`repro.engine.shm`) writes the circuit text into a slab arena
+once per fingerprint and pickles only a small header per chunk, with
+workers parking their telemetry payloads in preallocated result slots —
+per-chunk transport collapses to headers.  Counts are bitwise identical
+under every transport: the worker executes the same :func:`run_chunk`
+on the same derived-seed spec either way.
 """
 
 from __future__ import annotations
@@ -20,16 +34,23 @@ import os
 import pickle
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 import numpy as np
 
 import repro.obs as obs
+import repro.engine.shm as shm
 from repro.engine.cache import shared_cache
 from repro.engine.tasks import Task
 from repro.gf2 import bitops
 from repro.rng import chunk_generator
+
+#: Transport choices ``ChunkRunner`` accepts; ``"auto"`` resolves to
+#: shared memory when the host supports it (overridable via the
+#: ``REPRO_TRANSPORT`` environment variable), else pickle.
+TRANSPORTS = ("auto", "pickle", "shm")
 
 
 @dataclass(frozen=True)
@@ -45,6 +66,33 @@ class ChunkSpec:
     shots: int
     base_seed: int
     task_entropy: int
+
+
+@dataclass(frozen=True)
+class ShmChunkSpec:
+    """Header-only chunk spec: the circuit text lives in the arena.
+
+    The shared-memory wire format.  Identical to :class:`ChunkSpec`
+    except the ~KBs circuit text is replaced by a
+    :class:`~repro.engine.shm.BlobRef` into the parent's slab arena
+    (written once per fingerprint), and ``result_slot`` names the
+    preallocated slot the worker may park its telemetry payload in
+    (guarded by ``run_token`` against stale writes from abandoned
+    runs).  Workers rebuild a plain :class:`ChunkSpec` from it, so
+    execution — and therefore every count — is transport-independent.
+    """
+
+    task_id: str
+    fingerprint: str
+    circuit_ref: shm.BlobRef
+    decoder: str
+    sampler: str
+    chunk_index: int
+    shots: int
+    base_seed: int
+    task_entropy: int
+    run_token: int = 0
+    result_slot: shm.SlotRef | None = None
 
 
 @dataclass(frozen=True)
@@ -88,6 +136,10 @@ class ChunkResult:
     result_bytes: int = 0
     spans: tuple = ()
     metrics: tuple = ()
+    # True when the worker parked its telemetry payload in a
+    # shared-memory result slot instead of the pickle wire; the runner
+    # reads the slot and clears the flag before finalizing.
+    slot_payload: bool = False
 
 
 def plan_chunks(
@@ -125,6 +177,42 @@ def plan_chunks(
         remaining -= shots
         index += 1
     return specs
+
+
+def plan_chunks_adaptive(
+    task: Task, base_seed: int, sizer
+) -> Iterator[ChunkSpec]:
+    """Lazily plan ``task``'s chunks with sizes the ``sizer`` steers.
+
+    Each spec's shot count is whatever
+    :meth:`~repro.engine.adaptive.AdaptiveChunkSizer.next_shots`
+    reports at plan time (capped by the remaining budget), so the split
+    reacts to the latencies the consumer feeds back via ``observe``.
+    Unlike :func:`plan_chunks` the split is machine-dependent — which
+    shots get drawn depends on it — so this path is opt-in
+    (``ExecutionOptions.adaptive_chunks``).
+    """
+    task_id = task.strong_id()
+    fingerprint = task.circuit_fingerprint()
+    text = task.circuit.to_text()
+    entropy = task.seed_entropy()
+    remaining = task.max_shots
+    index = 0
+    while remaining > 0:
+        shots = min(sizer.next_shots(), remaining)
+        yield ChunkSpec(
+            task_id=task_id,
+            fingerprint=fingerprint,
+            circuit_text=text,
+            decoder=task.decoder,
+            sampler=task.sampler,
+            chunk_index=index,
+            shots=shots,
+            base_seed=base_seed,
+            task_entropy=entropy,
+        )
+        remaining -= shots
+        index += 1
 
 
 def _build_sampler(spec: ChunkSpec, circuit):
@@ -311,68 +399,261 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
 
 
 _IN_WORKER = False
+_WARM_BARRIER = None
+
+#: How long a warm task waits for its siblings; generous because the
+#: wait starts only after the worker's own compile finished, so it
+#: covers the *spread* between compiles, not their duration.
+_WARM_BARRIER_TIMEOUT = 60.0
 
 
-def _obs_worker_init(config: dict) -> None:
-    """Pool initializer: adopt the parent's telemetry flags and mark
-    this process as a worker so ``run_chunk`` ships its telemetry back
-    on the wire (spawned children start with everything off; forked
-    ones inherit flags but still need the worker mark)."""
-    global _IN_WORKER
+def _pool_worker_init(config: dict, barrier=None) -> None:
+    """Pool initializer: adopt the parent's telemetry flags, keep the
+    warm-broadcast barrier, and mark this process as a worker so
+    ``run_chunk`` ships its telemetry back on the wire (spawned
+    children start with everything off; forked ones inherit flags but
+    still need the worker mark).
+
+    The inherited telemetry buffers are dropped first: a forked child
+    starts with the parent's registry *including its unshipped deltas*,
+    and its first ``flush_wire`` would re-ship them — every parent-side
+    counter would double-count once per worker.  A worker's wire must
+    carry only what the worker itself measured.
+    """
+    global _IN_WORKER, _WARM_BARRIER
     _IN_WORKER = True
+    _WARM_BARRIER = barrier
+    obs.reset()
     obs.configure(config)
 
 
+def _spec_from_header(header: ShmChunkSpec) -> ChunkSpec:
+    """Rebuild a plain :class:`ChunkSpec` from a shared-memory header.
+
+    The circuit text is read from the arena only when this worker's
+    cache has not yet built the circuit — a warm worker never touches
+    the slab again.
+    """
+    text = ""
+    if ("circuit", header.fingerprint) not in shared_cache():
+        text = shm.read_blob(header.circuit_ref).decode()
+    return ChunkSpec(
+        task_id=header.task_id,
+        fingerprint=header.fingerprint,
+        circuit_text=text,
+        decoder=header.decoder,
+        sampler=header.sampler,
+        chunk_index=header.chunk_index,
+        shots=header.shots,
+        base_seed=header.base_seed,
+        task_entropy=header.task_entropy,
+    )
+
+
+def _warm_cache(spec: ChunkSpec) -> None:
+    """Build this worker's cached artifacts for one (circuit, sampler,
+    decoder) triple — the exact keys ``run_chunk`` will hit."""
+    from repro.circuit.circuit import Circuit
+
+    cache = shared_cache()
+    circuit = cache.get_or_build(
+        ("circuit", spec.fingerprint),
+        lambda: Circuit.from_text(spec.circuit_text),
+    )
+    cache.get_or_build(
+        ("sampler", spec.fingerprint, spec.sampler),
+        lambda: _build_sampler(spec, circuit),
+    )
+    if spec.decoder != "none":
+        cache.get_or_build(
+            ("decoder", spec.fingerprint, spec.decoder),
+            lambda: _build_decoder(spec, circuit),
+        )
+
+
+def _warm_worker(spec) -> tuple:
+    """Warm-broadcast target: compile, then wait at the barrier.
+
+    The barrier forces distribution: a worker that finished its compile
+    cannot grab a sibling's warm task until every worker holds one, so
+    ``workers`` warm tasks land on ``workers`` distinct processes.  A
+    broken/timed-out barrier degrades gracefully — the compile already
+    happened; at worst an unwarmed worker pays it on its first chunk,
+    which is the pre-warm behavior.
+    """
+    if isinstance(spec, ShmChunkSpec):
+        spec = _spec_from_header(spec)
+    with obs.span(
+        "warm", fingerprint=spec.fingerprint, sampler=spec.sampler,
+        decoder=spec.decoder,
+    ):
+        _warm_cache(spec)
+    barrier = _WARM_BARRIER
+    if barrier is not None:
+        try:
+            barrier.wait(_WARM_BARRIER_TIMEOUT)
+        except threading.BrokenBarrierError:
+            pass
+    return (
+        os.getpid(),
+        obs.drain_wire_spans() if _IN_WORKER and obs.is_tracing() else (),
+        obs.flush_wire() if _IN_WORKER and obs.is_metrics() else (),
+    )
+
+
+def warm_spec(task: Task, base_seed: int) -> ChunkSpec:
+    """A zero-shot template spec for :meth:`ChunkRunner.warm`."""
+    return ChunkSpec(
+        task_id=task.strong_id(),
+        fingerprint=task.circuit_fingerprint(),
+        circuit_text=task.circuit.to_text(),
+        decoder=task.decoder,
+        sampler=task.sampler,
+        chunk_index=0,
+        shots=0,
+        base_seed=base_seed,
+        task_entropy=task.seed_entropy(),
+    )
+
+
 def _indexed_run_chunk(
-    indexed_spec: tuple[int, ChunkSpec],
+    indexed_spec: tuple[int, "ChunkSpec | ShmChunkSpec"],
 ) -> tuple[int, ChunkResult]:
     """Pool target: tag each result with its submission index so the
-    order-restoring buffer can reassemble the deterministic stream."""
+    order-restoring buffer can reassemble the deterministic stream.
+
+    Shared-memory headers are rebuilt into plain specs here, and the
+    telemetry payload — the bulk of a profiled result — is parked in
+    the header's result slot when it fits, collapsing the pickled
+    return to its numeric fields.
+    """
     index, spec = indexed_spec
+    if isinstance(spec, ShmChunkSpec):
+        result = run_chunk(_spec_from_header(spec))
+        if spec.result_slot is not None and (result.spans or result.metrics):
+            payload = pickle.dumps((result.spans, result.metrics))
+            if shm.write_slot(spec.result_slot, spec.run_token, payload):
+                result = replace(
+                    result, spans=(), metrics=(), slot_payload=True
+                )
+        return index, result
     return index, run_chunk(spec)
 
 
 class ChunkRunner:
     """Executes chunk specs, in-process (``workers <= 1``) or on a
-    ``multiprocessing`` pool.  Context-managed so the pool is always
+    ``multiprocessing`` pool.  Context-managed so the pool — and, under
+    shared-memory transport, every ``/dev/shm`` segment — is always
     reclaimed::
 
         with ChunkRunner(workers=4) as runner:
             for result in runner.run(specs):
                 ...
+
+    ``transport`` picks the parent-worker wire: ``"pickle"`` (ship the
+    whole spec), ``"shm"`` (slab-arena blobs + header-only pickles, see
+    :mod:`repro.engine.shm`; raises at ``__enter__`` when the host
+    cannot create segments), or ``"auto"`` (shm when available, else
+    pickle; the ``REPRO_TRANSPORT`` environment variable overrides the
+    preference).  Counts are bitwise identical under every transport.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(
+        self,
+        workers: int = 1,
+        transport: str = "auto",
+        slot_bytes: int = 1 << 16,
+    ):
         self.workers = max(1, int(workers))
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        self.transport = transport
+        self._slot_bytes = slot_bytes
+        self._mode = "inproc"
         self._pool = None
+        self._arena: shm.SlabArena | None = None
+        self._warm_barrier = None
+        self._warmed: set[tuple[str, str, str]] = set()
+        self._run_token = 0
         self._feeder_stop: threading.Event | None = None
         self._feeder_slots: threading.Semaphore | None = None
 
+    def _resolve_transport(self) -> str:
+        """The wire a pooled run will use, honoring explicit choices
+        strictly and degrading ``auto`` (or its env override) to pickle
+        when shared memory is unusable."""
+        requested = self.transport
+        if requested == "auto":
+            env = os.environ.get("REPRO_TRANSPORT", "").strip().lower()
+            if env in ("pickle", "shm"):
+                requested = env
+        if requested == "shm" and not shm.shm_available():
+            if self.transport == "shm":
+                raise RuntimeError(
+                    "transport='shm' requested but shared memory is "
+                    "unavailable on this host (pass 'auto' or 'pickle')"
+                )
+            return "pickle"
+        if requested == "auto":
+            return "shm" if shm.shm_available() else "pickle"
+        return requested
+
+    @property
+    def active_transport(self) -> str:
+        """The resolved wire: ``inproc`` (serial), ``pickle`` or ``shm``."""
+        return self._mode
+
     def __enter__(self) -> "ChunkRunner":
         if self.workers > 1:
+            self._mode = self._resolve_transport()
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
+            self._warm_barrier = context.Barrier(self.workers)
             self._pool = context.Pool(
                 processes=self.workers,
-                initializer=_obs_worker_init,
-                initargs=(obs.wire_config(),),
+                initializer=_pool_worker_init,
+                initargs=(obs.wire_config(), self._warm_barrier),
             )
+            if self._mode == "shm":
+                try:
+                    self._arena = shm.SlabArena(
+                        slot_count=2 * self.workers,
+                        slot_bytes=self._slot_bytes,
+                    )
+                except (RuntimeError, OSError, ValueError):
+                    # Probe said yes but creation failed (quota, races):
+                    # degrade to the pickle wire rather than dying.
+                    self._arena = None
+                    self._mode = "pickle"
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        if self._pool is not None:
-            self._release_feeder()
-            if exc_type is None:
-                # Clean shutdown: let in-flight chunks finish so forked
-                # children flush coverage data and never die holding a
-                # half-written sampler-cache entry.
-                self._pool.close()
-            else:
-                self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        try:
+            if self._pool is not None:
+                self._release_feeder()
+                if exc_type is None:
+                    # Clean shutdown: let in-flight chunks finish so
+                    # forked children flush coverage data and never die
+                    # holding a half-written sampler-cache entry.
+                    self._pool.close()
+                else:
+                    self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            # Segments are unlinked on *every* exit path — exception,
+            # KeyboardInterrupt, pool-join failure — so a dead run never
+            # leaks /dev/shm space.
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+            self._warm_barrier = None
+            self._warmed.clear()
+            self._mode = "inproc"
 
     def _release_feeder(self) -> None:
         """Unblock the active run's feeder so close/join cannot hang on
@@ -384,6 +665,76 @@ class ChunkRunner:
             self._feeder_stop = None
             self._feeder_slots = None
 
+    def _header_for(
+        self, spec: ChunkSpec, slot_id: int = -1
+    ) -> ShmChunkSpec:
+        """The shared-memory header for one spec, writing the circuit
+        text into the slab arena on first encounter of its fingerprint."""
+        ref = self._arena.put_blob(
+            ("circuit", spec.fingerprint), spec.circuit_text.encode()
+        )
+        return ShmChunkSpec(
+            task_id=spec.task_id,
+            fingerprint=spec.fingerprint,
+            circuit_ref=ref,
+            decoder=spec.decoder,
+            sampler=spec.sampler,
+            chunk_index=spec.chunk_index,
+            shots=spec.shots,
+            base_seed=spec.base_seed,
+            task_entropy=spec.task_entropy,
+            run_token=self._run_token,
+            result_slot=(
+                self._arena.slot_ref(slot_id) if slot_id >= 0 else None
+            ),
+        )
+
+    def warm(self, spec: ChunkSpec) -> bool:
+        """Broadcast "compile this fingerprint" to every pool worker.
+
+        Each worker builds the spec's circuit, sampler and (non-none)
+        decoder into its process cache, so ``backend.compile`` runs
+        once per worker per circuit *before* chunks flow instead of
+        serializing into each worker's first chunk.  Dedup-keyed by
+        ``(fingerprint, sampler, decoder)``; a no-op in-process (the
+        serial path compiles lazily, once, anyway).  Returns whether a
+        broadcast actually ran.  The workers' compile telemetry is
+        merged into the parent's buffers immediately, not deferred to
+        their first chunk.
+        """
+        key = (spec.fingerprint, spec.sampler, spec.decoder)
+        if self._pool is None or key in self._warmed:
+            return False
+        self._warmed.add(key)
+        payload = (
+            self._header_for(spec) if self._arena is not None else spec
+        )
+        with obs.span(
+            "warm.broadcast",
+            fingerprint=spec.fingerprint,
+            sampler=spec.sampler,
+            decoder=spec.decoder,
+            workers=self.workers,
+        ):
+            # chunksize=1 is load-bearing: map() batching would hand
+            # several warm tasks to one worker and deadlock the barrier.
+            outcomes = self._pool.map(
+                _warm_worker, [payload] * self.workers, chunksize=1
+            )
+        for _pid, spans, metrics in outcomes:
+            if spans:
+                obs.absorb_spans(spans)
+            if metrics:
+                obs.merge_wire(metrics)
+        if self._warm_barrier is not None and self._warm_barrier.broken:
+            try:
+                self._warm_barrier.reset()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        if obs.is_metrics():
+            obs.counter("repro_warm_broadcasts_total").inc()
+        return True
+
     @staticmethod
     def _finalize(
         result: ChunkResult,
@@ -391,6 +742,7 @@ class ChunkRunner:
         received: float,
         spec_bytes: int = 0,
         result_bytes: int = 0,
+        transport: str = "inproc",
     ) -> ChunkResult:
         """Complete a chunk's timeline on the way out of the runner.
 
@@ -432,6 +784,7 @@ class ChunkRunner:
                 yielded_at=yielded,
                 spec_bytes=spec_bytes,
                 result_bytes=result_bytes,
+                transport=transport,
             )
         )
         return replace(
@@ -493,17 +846,35 @@ class ChunkRunner:
         measure = obs.is_metrics()
         submit_times: dict[int, float] = {}
         spec_sizes: dict[int, int] = {}
+        transport = self._mode
+        arena = self._arena
+        # Per-run token: a slot write from an abandoned run's still-
+        # draining chunk carries the old token and is dropped on read.
+        self._run_token += 1
+        token = self._run_token
+        # One slot per in-flight-window entry.  A slot is reusable the
+        # moment its payload is read (at receive), and the semaphore is
+        # released strictly later (at yield), so the free list can
+        # never be empty when the feeder pops after an acquire.
+        free_slots: deque[int] = (
+            deque(range(arena.slot_count)) if arena is not None else deque()
+        )
+        slot_ids: dict[int, int] = {}
 
-        def feed() -> Iterator[tuple[int, ChunkSpec]]:
-            for indexed in enumerate(specs):
+        def feed() -> Iterator[tuple[int, "ChunkSpec | ShmChunkSpec"]]:
+            for index, spec in enumerate(specs):
                 slots.acquire()
                 if stop.is_set():
                     return
-                index, spec = indexed
+                payload: ChunkSpec | ShmChunkSpec = spec
+                if arena is not None:
+                    slot_id = free_slots.popleft()
+                    slot_ids[index] = slot_id
+                    payload = self._header_for(spec, slot_id)
                 submit_times[index] = time.perf_counter()
                 if measure:
-                    spec_sizes[index] = len(pickle.dumps(spec))
-                yield indexed
+                    spec_sizes[index] = len(pickle.dumps(payload))
+                yield index, payload
 
         reorder: dict[int, tuple[ChunkResult, float, int]] = {}
         next_index = 0
@@ -513,6 +884,31 @@ class ChunkRunner:
             ):
                 received = time.perf_counter()
                 result_bytes = len(pickle.dumps(result)) if measure else 0
+                if arena is not None:
+                    slot_id = slot_ids.pop(index, -1)
+                    if result.slot_payload and slot_id >= 0:
+                        payload_bytes = arena.read_slot(slot_id, token)
+                        spans: tuple = ()
+                        metrics: tuple = ()
+                        if payload_bytes is not None:
+                            try:
+                                spans, metrics = pickle.loads(payload_bytes)
+                            except Exception:
+                                # Telemetry is lossy by design; counts
+                                # never travel through slots.
+                                spans, metrics = (), ()
+                            if measure:
+                                obs.counter(
+                                    "repro_shm_slot_payload_bytes_total"
+                                ).inc(len(payload_bytes))
+                        result = replace(
+                            result,
+                            spans=tuple(spans),
+                            metrics=tuple(metrics),
+                            slot_payload=False,
+                        )
+                    if slot_id >= 0:
+                        free_slots.append(slot_id)
                 reorder[index] = (result, received, result_bytes)
                 # A slot is freed only when its result is *yielded*, not
                 # when it lands in the reorder buffer: results parked
@@ -534,6 +930,7 @@ class ChunkRunner:
                         received=received_at,
                         spec_bytes=spec_sizes.pop(next_index, 0),
                         result_bytes=in_bytes,
+                        transport=transport,
                     )
                     next_index += 1
                     slots.release()

@@ -47,6 +47,9 @@ class ChunkTimeline:
     yielded_at: float
     spec_bytes: int = 0
     result_bytes: int = 0
+    #: Which wire carried the chunk: ``"inproc"`` (serial), ``"pickle"``
+    #: or ``"shm"`` (header-only pickles, payloads via shared memory).
+    transport: str = "inproc"
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -108,7 +111,8 @@ class ChunkTimeline:
                     span_id=f"tl:{self.task_id[:8]}:{self.chunk_index}:{name}",
                     parent_id=None,
                     attrs=dict(attrs, spec_bytes=self.spec_bytes,
-                               result_bytes=self.result_bytes),
+                               result_bytes=self.result_bytes,
+                               transport=self.transport),
                 )
             )
         return spans

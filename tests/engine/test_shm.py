@@ -1,0 +1,215 @@
+"""Shared-memory transport: identity, lifecycle, warm workers, fallback."""
+
+import glob
+import pickle
+
+import pytest
+
+import repro.obs as obs
+from repro.engine import ChunkRunner, Task, plan_chunks, warm_spec
+from repro.engine import shm
+from repro.qec import repetition_code_memory
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable on this host"
+)
+
+
+def make_task(
+    backend="frame", decoder="compiled-matching", max_shots=400, p=0.05
+):
+    # Vary ``p`` to get a fingerprint no other test compiled: forked
+    # workers inherit the parent's sampler cache, so a shared circuit
+    # would turn warm-broadcast compiles into hits.
+    circuit = repetition_code_memory(
+        3, rounds=2, data_flip_probability=p, measure_flip_probability=p
+    )
+    return Task(
+        circuit, decoder=decoder, sampler=backend, max_shots=max_shots
+    )
+
+
+def leaked_segments():
+    return glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}*")
+
+
+class TestArena:
+    def test_blob_round_trip_and_dedupe(self):
+        with shm.SlabArena(slot_count=2) as arena:
+            ref = arena.put_blob("key", b"payload")
+            assert shm.read_blob(ref) == b"payload"
+            # Write-once: the same key returns the first ref untouched.
+            assert arena.put_blob("key", b"different") == ref
+            assert arena.has_blob("key")
+        shm.detach_all()
+
+    def test_slab_grows_for_large_blobs(self):
+        with shm.SlabArena(slot_count=1, slab_bytes=64) as arena:
+            big = bytes(range(256)) * 16
+            assert shm.read_blob(arena.put_blob("big", big)) == big
+        shm.detach_all()
+
+    def test_slot_token_guards_stale_writes(self):
+        with shm.SlabArena(slot_count=1) as arena:
+            ref = arena.slot_ref(0)
+            assert shm.write_slot(ref, token=7, payload=b"old run")
+            assert arena.read_slot(0, token=8) is None
+            assert arena.read_slot(0, token=7) == b"old run"
+        shm.detach_all()
+
+    def test_oversized_slot_write_is_refused(self):
+        with shm.SlabArena(slot_count=1, slot_bytes=64) as arena:
+            assert not shm.write_slot(arena.slot_ref(0), 1, b"x" * 64)
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        arena = shm.SlabArena(slot_count=2)
+        arena.put_blob("a", b"data")
+        assert leaked_segments()
+        arena.close()
+        arena.close()
+        assert arena.closed
+        assert not leaked_segments()
+
+
+GRID = [
+    (backend, decoder)
+    for backend in ("frame", "frame-interp", "symbolic")
+    for decoder in ("compiled-matching", "matching")
+]
+
+
+class TestTransportIdentity:
+    @pytest.mark.parametrize("backend,decoder", GRID)
+    def test_serial_pickle_shm_bitwise_identical(self, backend, decoder):
+        specs = plan_chunks(make_task(backend, decoder), 3, 100)
+        counts = {}
+        with ChunkRunner(workers=1) as runner:
+            counts["serial"] = [
+                (r.chunk_index, r.shots, r.errors) for r in runner.run(specs)
+            ]
+        for transport in ("pickle", "shm"):
+            with ChunkRunner(workers=2, transport=transport) as runner:
+                assert runner.active_transport == transport
+                counts[transport] = [
+                    (r.chunk_index, r.shots, r.errors)
+                    for r in runner.run(specs)
+                ]
+        assert counts["pickle"] == counts["serial"]
+        assert counts["shm"] == counts["serial"]
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ChunkRunner(workers=2, transport="bogus")
+
+    def test_env_override_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "pickle")
+        with ChunkRunner(workers=2, transport="auto") as runner:
+            assert runner.active_transport == "pickle"
+
+    def test_serial_runner_stays_in_process(self):
+        with ChunkRunner(workers=1, transport="shm") as runner:
+            assert runner.active_transport == "inproc"
+
+
+class TestLifecycle:
+    def test_no_leaked_segments_after_failed_run(self):
+        """A consumer that blows up mid-run must leave /dev/shm clean."""
+        specs = plan_chunks(make_task(max_shots=1200), 3, 100)
+        with pytest.raises(RuntimeError, match="consumer failed"):
+            with ChunkRunner(workers=2, transport="shm") as runner:
+                for result in runner.run(specs):
+                    raise RuntimeError("consumer failed")
+        assert not leaked_segments()
+
+    def test_no_leaked_segments_after_clean_run(self):
+        specs = plan_chunks(make_task(), 3, 100)
+        with ChunkRunner(workers=2, transport="shm") as runner:
+            list(runner.run(specs))
+        assert not leaked_segments()
+
+    def test_slot_overflow_falls_back_to_pickle_wire(self):
+        """Telemetry too big for its slot rides the pickle wire instead;
+        counts and spans both still arrive."""
+        obs.enable(tracing=True, metrics=True)
+        specs = plan_chunks(make_task(), 3, 100)
+        with ChunkRunner(workers=2, transport="shm", slot_bytes=80) as runner:
+            results = list(runner.run(specs))
+        assert [r.chunk_index for r in results] == list(range(len(specs)))
+        assert all(not r.slot_payload for r in results)
+        # The workers' telemetry still made it into the parent registry.
+        assert obs.registry().value("repro_shm_slot_payload_bytes_total") is None
+        assert sum(
+            m.value
+            for _, m in obs.registry().select("repro_chunks_total")
+        ) == len(specs)
+
+
+class TestHeaderOnlyTransport:
+    def test_shm_transport_bytes_are_header_sized(self):
+        obs.enable(tracing=False, metrics=True)
+        task = make_task(max_shots=800)
+        specs = plan_chunks(task, 3, 100)
+        with ChunkRunner(workers=2, transport="shm") as runner:
+            runner.warm(warm_spec(task, 3))
+            results = list(runner.run(specs))
+        reg = obs.registry()
+        chunks = len(results)
+        assert reg.value("repro_transport_spec_bytes_total") / chunks <= 1024
+        assert reg.value("repro_transport_result_bytes_total") / chunks <= 1024
+        # The circuit text crossed exactly once, via the slab.
+        assert reg.value("repro_shm_blob_bytes_total") == len(
+            task.circuit.to_text().encode()
+        )
+
+    def test_headers_are_smaller_than_pickled_specs(self):
+        task = make_task()
+        spec = plan_chunks(task, 3, 100)[0]
+        with ChunkRunner(workers=2, transport="shm") as runner:
+            header = runner._header_for(spec, slot_id=0)
+            assert len(pickle.dumps(header)) < len(pickle.dumps(spec))
+
+
+class TestWarmWorkers:
+    def test_warm_compiles_once_per_worker(self):
+        """After a warm broadcast, sampler compile count == workers —
+        not chunks — and every chunk is a cache hit."""
+        obs.enable(tracing=False, metrics=True)
+        workers = 2
+        task = make_task(max_shots=800, p=0.041)
+        specs = plan_chunks(task, 3, 100)
+        with ChunkRunner(workers=workers, transport="shm") as runner:
+            assert runner.warm(warm_spec(task, 3))
+            # Idempotent: the same triple never broadcasts twice.
+            assert not runner.warm(warm_spec(task, 3))
+            list(runner.run(specs))
+        reg = obs.registry()
+        misses = sum(
+            m.value
+            for _, m in reg.select("repro_cache_misses_total", kind="sampler")
+        )
+        hits = sum(
+            m.value
+            for _, m in reg.select("repro_cache_hits_total", kind="sampler")
+        )
+        assert misses == workers
+        assert hits == len(specs)
+        assert reg.value("repro_warm_broadcasts_total") == 1
+
+    def test_warm_is_noop_in_process(self):
+        task = make_task()
+        with ChunkRunner(workers=1) as runner:
+            assert not runner.warm(warm_spec(task, 3))
+
+    def test_warm_works_on_pickle_wire_too(self):
+        obs.enable(tracing=False, metrics=True)
+        task = make_task(max_shots=400, p=0.043)
+        with ChunkRunner(workers=2, transport="pickle") as runner:
+            assert runner.warm(warm_spec(task, 3))
+            list(runner.run(plan_chunks(task, 3, 100)))
+        misses = sum(
+            m.value
+            for _, m in obs.registry().select(
+                "repro_cache_misses_total", kind="sampler"
+            )
+        )
+        assert misses == 2
