@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core import CompiledSampler, SymPhaseSimulator
-from repro.decoders import CompiledMatchingDecoder, MatchingDecoder
+from repro.decoders import compile_decoder
 from repro.dem import extract_dem
 from repro.qec import repetition_code_memory
 
@@ -27,7 +27,7 @@ def pipeline():
     )
     sampler = CompiledSampler(SymPhaseSimulator.from_circuit(circuit))
     dem = extract_dem(sampler)
-    decoder = MatchingDecoder(dem)
+    decoder = compile_decoder(dem, "matching")
     rng = np.random.default_rng(0)
     detectors, _ = sampler.sample_detectors(SHOTS, rng)
     return circuit, sampler, dem, decoder, detectors
@@ -63,5 +63,5 @@ def test_stage_decode(benchmark, pipeline):
 def test_stage_decode_compiled(benchmark, pipeline):
     benchmark.group = "gadget-eval-stages"
     dem, detectors = pipeline[2], pipeline[4]
-    decoder = CompiledMatchingDecoder(dem)
+    decoder = compile_decoder(dem, "compiled-matching")
     benchmark(decoder.decode_batch, detectors)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 
 import numpy as np
@@ -284,6 +285,14 @@ def main(argv: list[str] | None = None) -> int:
     result["scaling_gate"] = (
         "skipped_single_core" if usable_cores() < 2 else "measured"
     )
+    if result["scaling_gate"] == "skipped_single_core":
+        # On stderr so CI logs surface the skip even when stdout is
+        # piped into a JSON consumer.
+        print(
+            "scaling gate skipped_single_core: fewer than 2 usable cores; "
+            "workers-2 numbers would measure time-slicing, not scaling",
+            file=sys.stderr,
+        )
 
     meta = result["circuit"]
     print(f"d={meta['distance']} surface-code memory "
@@ -338,7 +347,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.min_scaling_efficiency is not None:
         if result["scaling_gate"] == "skipped_single_core":
-            print("scaling gate skipped: fewer than 2 usable cores")
+            print(
+                "scaling gate skipped (skipped_single_core): fewer than 2 "
+                "usable cores",
+                file=sys.stderr,
+            )
         elif efficiency is None or efficiency < args.min_scaling_efficiency:
             print(f"FAIL: scaling efficiency below required "
                   f"{args.min_scaling_efficiency}x")

@@ -1,0 +1,67 @@
+"""Allowlisted-baseline support.
+
+A baseline file records *intentional* findings — deep imports a
+benchmark needs to measure internals, say — so CI can gate on "no
+finding outside the baseline" while the inline-suppression count stays
+zero.  Entries match on ``(rule, path, symbol)`` (symbols survive line
+drift) plus an optional ``contains`` substring of the message, and
+every entry carries a human ``note`` saying why it is allowed.
+
+Format (JSON)::
+
+    {
+      "entries": [
+        {"rule": "API001", "path": "benchmarks/bench_pipeline.py",
+         "symbol": "<module>", "note": "benches the packed bitops hot
+         path; deep import is the point"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+
+@dataclass
+class Baseline:
+    entries: list[dict] = field(default_factory=list)
+    _hits: set[int] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = data.get("entries", [])
+        for entry in entries:
+            missing = {"rule", "path", "note"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"baseline entry {entry!r} missing {sorted(missing)}"
+                )
+        return cls(entries=entries)
+
+    def matches(self, finding: Finding) -> bool:
+        for position, entry in enumerate(self.entries):
+            if entry["rule"] != finding.rule:
+                continue
+            if entry["path"] != finding.path:
+                continue
+            if entry.get("symbol", finding.symbol) != finding.symbol:
+                continue
+            if entry.get("contains", "") not in finding.message:
+                continue
+            self._hits.add(position)
+            return True
+        return False
+
+    def stale_entries(self) -> list[dict]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [
+            entry
+            for position, entry in enumerate(self.entries)
+            if position not in self._hits
+        ]

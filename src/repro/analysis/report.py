@@ -1,0 +1,80 @@
+"""Human-text and JSON reporters over an :class:`AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisResult, sort_findings
+from repro.analysis.rules import all_rules
+
+#: Bumped when the JSON layout changes incompatibly; CI consumers pin it.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in sort_findings(result.findings):
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if verbose:
+        for finding in sort_findings(result.baselined):
+            lines.append(
+                f"{finding.location()}: {finding.rule} baselined: "
+                f"{finding.message}"
+            )
+        for finding in sort_findings(result.suppressed):
+            lines.append(
+                f"{finding.location()}: {finding.rule} suppressed inline"
+            )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry (matched nothing): "
+            f"{entry['rule']} {entry['path']} — consider deleting it"
+        )
+    counts = result.counts()
+    summary = (
+        ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        if counts
+        else "clean"
+    )
+    lines.append(
+        f"{len(result.findings)} finding(s) "
+        f"({summary}) in {result.files_analyzed} file(s), "
+        f"{len(result.rules_run)} rule(s), {result.seconds:.2f}s"
+        + (
+            f"; {len(result.suppressed)} suppressed, "
+            f"{len(result.baselined)} baselined"
+            if result.suppressed or result.baselined
+            else ""
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    rules = {
+        rule.id: {
+            "severity": rule.severity,
+            "title": rule.title,
+            "rationale": rule.rationale,
+        }
+        for rule in all_rules()
+        if rule.id in result.rules_run
+    }
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "rules": rules,
+        "findings": [f.to_dict() for f in sort_findings(result.findings)],
+        "suppressed": [f.to_dict() for f in sort_findings(result.suppressed)],
+        "baselined": [f.to_dict() for f in sort_findings(result.baselined)],
+        "stale_baseline": result.stale_baseline,
+        "counts": result.counts(),
+        "files_analyzed": result.files_analyzed,
+        "seconds": result.seconds,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,92 @@
+"""API001 — the facade boundary around user-facing layers.
+
+PR 4 made ``repro.study`` the single public API: the CLI, examples and
+benchmarks are thin layers over it (plus a short list of sanctioned
+facade packages — registries, circuit/DEM handles, builders,
+telemetry).  Deep imports from those layers re-grow exactly the code
+forks the facade removed, and silently freeze internals (engine wire
+formats, frame program layout) into quasi-public API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.index import SourceFile, SourceIndex
+
+#: Modules user-facing layers may import from.  Exact-match: a
+#: sanctioned package's *submodules* are not sanctioned (``repro.circuit``
+#: yes, ``repro.circuit.parser`` no) — facades re-export what is public.
+SANCTIONED = frozenset({
+    "repro",
+    "repro.study",       # the primary facade (PR 4)
+    "repro.qec",         # circuit/DEM builders
+    "repro.circuit",     # Circuit + targets
+    "repro.dem",         # DetectorErrorModel handles
+    "repro.backends",    # sampler registry (capability-flagged)
+    "repro.decoders",    # decoder registry (capability-flagged)
+    "repro.engine",      # engine facade (ExecutionOptions/Task/collect)
+    "repro.obs",         # telemetry facade
+    "repro.layout",      # paper layout builders
+    "repro.workloads",   # paper workload builders
+    "repro.noise",       # noise channel builders
+    "repro.rng",         # the seed contract
+    "repro.analysis",    # this linter's own CLI surface
+})
+
+
+def _facade_scope(file: SourceFile) -> str | None:
+    """Which user-facing layer a file belongs to, if any."""
+    parts = file.path.parts
+    if "examples" in parts:
+        return "examples"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    if file.module == "repro.cli":
+        return "the CLI"
+    return None
+
+
+def _repro_imports(tree: ast.Module) -> Iterator[tuple[ast.stmt, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            if node.module == "repro" or node.module.startswith("repro."):
+                yield node, node.module
+
+
+class FacadeRule(Rule):
+    """API001: examples/, benchmarks/ and cli.py import only sanctioned
+    facade modules."""
+
+    id = "API001"
+    severity = "warning"
+    title = "deep import past the study facade"
+    rationale = (
+        "user-facing layers are thin clients of repro.study and the "
+        "sanctioned facades; deep imports freeze internals into "
+        "quasi-public API and re-grow pre-PR-4 code forks."
+    )
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for file in index.target_files():
+            scope = _facade_scope(file)
+            if scope is None:
+                continue
+            for node, module in _repro_imports(file.tree):
+                if module in SANCTIONED:
+                    continue
+                yield self.finding(
+                    index, file, node,
+                    f"{scope} imports internal module {module!r}",
+                    hint=(
+                        "go through repro.study (or another sanctioned "
+                        "facade); if the capability is missing there, "
+                        "grow the facade instead of importing around it"
+                    ),
+                )

@@ -1,0 +1,87 @@
+"""OBS001 — telemetry at per-chunk granularity only.
+
+The obs layer's cost model (CI-gated by ``bench_obs_overhead.py``)
+assumes probes fire per *chunk*: a disabled span costs ~300ns, an
+enabled one a few µs.  Inside a per-shot inner loop those constants
+multiply by 10⁴–10⁶ and the <2.5% overhead budget is gone — per-shot
+quantities belong in counters incremented once per chunk with the
+aggregate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.index import SourceFile, SourceIndex
+
+#: repro.obs entry points that cost per call.
+_TELEMETRY = frozenset({"span", "event", "counter", "gauge", "histogram"})
+
+
+def _is_telemetry_call(file: SourceFile, call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _TELEMETRY:
+        if isinstance(func.value, ast.Name):
+            binding = file.bindings.get(func.value.id)
+            if binding is not None and binding.module.startswith("repro.obs"):
+                return func.attr
+    elif isinstance(func, ast.Name):
+        binding = file.bindings.get(func.id)
+        if (
+            binding is not None
+            and binding.module.startswith("repro.obs")
+            and binding.attr in _TELEMETRY
+        ):
+            return binding.attr
+    return None
+
+
+def _shot_loops(tree: ast.Module) -> list[ast.stmt]:
+    """Loops that iterate per shot, identified by their iterable/test
+    naming (``for s in range(shots)``, ``while remaining_shots``…)."""
+    loops = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            source = ast.unparse(node.iter).lower()
+            if "shot" in source:
+                loops.append(node)
+        elif isinstance(node, ast.While):
+            if "shot" in ast.unparse(node.test).lower():
+                loops.append(node)
+    return loops
+
+
+class ObsGranularityRule(Rule):
+    """OBS001: no span()/metrics calls inside per-shot loops."""
+
+    id = "OBS001"
+    severity = "warning"
+    title = "telemetry call in per-shot loop"
+    rationale = (
+        "probes are budgeted per chunk (~µs each, <2.5% overhead "
+        "CI-gated); per-shot firing multiplies the cost by the shot "
+        "count and swamps the pipeline it measures."
+    )
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for file in index.target_files():
+            if file.module.startswith("repro.obs"):
+                continue
+            for loop in _shot_loops(file.tree):
+                for sub in ast.walk(loop):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    kind = _is_telemetry_call(file, sub)
+                    if kind is None:
+                        continue
+                    yield self.finding(
+                        index, file, sub,
+                        f"obs.{kind}() fires inside a per-shot loop",
+                        hint=(
+                            "aggregate per shot locally and record once "
+                            "per chunk (counter.inc(total) after the "
+                            "loop)"
+                        ),
+                    )

@@ -1,0 +1,146 @@
+"""PACK001 — the packed uint64 wire must not silently mix with uint8
+rows.
+
+PR 5's hot path keeps shots bit-packed (shot-major uint64 words,
+little-endian bit order) from sampler to error count.  Packed and
+unpacked arrays are both plain ``np.ndarray``\\ s, so feeding one where
+the other is expected fails *silently* — popcounts of uint8 rows are
+valid numbers, just wrong ones.  Crossing the ``repro.gf2.bitops``
+boundary therefore requires an explicit pack/unpack call; this rule
+tracks value provenance through assignments and flags implicit
+crossings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.index import SourceIndex, dotted_tail
+
+#: Calls whose results are packed uint64 rows.
+PACKED_PRODUCERS = frozenset({
+    "sample_detectors_packed", "decode_batch_packed",
+    "packed_detector_samples", "pack_detector_samples",
+    "pack_rows", "pack_bits", "random_packed",
+    "detect_packed", "decode_packed",
+})
+
+#: Calls whose results are unpacked uint8 rows.
+UNPACKED_PRODUCERS = frozenset({
+    "sample_detectors", "decode_batch", "unpack_rows", "unpack_bits",
+    "detect", "decode",
+})
+
+#: Functions whose array arguments must be packed (the bitops boundary
+#: plus the packed decoder entry).
+PACKED_CONSUMERS = frozenset({
+    "decode_batch_packed", "popcount_rows", "popcount",
+    "nonzero_rows_packed", "dedupe_rows_packed", "xor_rows_any",
+    "nonzero_bits", "parity_words", "unpack_rows", "unpack_bits",
+})
+
+#: Functions whose array arguments must be unpacked.  The ``pack_*``
+#: converters appear here on purpose: they are the *explicit* packing
+#: step, so handing them an already-packed array double-packs it.
+UNPACKED_CONSUMERS = frozenset({
+    "decode_batch", "pack_rows", "pack_bits", "pack_detector_samples",
+})
+
+
+def _targets(node: ast.expr) -> list[str]:
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return [e.id for e in node.elts if isinstance(e, ast.Name)]
+    return []
+
+
+class _Provenance(ast.NodeVisitor):
+    """Order-sensitive walk of one function: track names assigned from
+    packed/unpacked producers and check consumer call sites."""
+
+    def __init__(self):
+        self.marks: dict[str, str] = {}
+        self.violations: list[tuple[ast.Call, str, str, str]] = []
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        mark = self._call_mark(node.value)
+        for target in node.targets:
+            for name in _targets(target):
+                if mark is None:
+                    self.marks.pop(name, None)
+                else:
+                    self.marks[name] = mark
+
+    def _call_mark(self, value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        tail = dotted_tail(value.func)
+        if tail in PACKED_PRODUCERS:
+            return "packed"
+        if tail in UNPACKED_PRODUCERS:
+            return "unpacked"
+        return None
+
+    # Nested defs are indexed as their own functions — do not walk
+    # into them here or their violations would double-report.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        tail = dotted_tail(node.func)
+        expected = (
+            "packed" if tail in PACKED_CONSUMERS
+            else "unpacked" if tail in UNPACKED_CONSUMERS
+            else None
+        )
+        if expected is None:
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                mark = self.marks.get(arg.id)
+                if mark is not None and mark != expected:
+                    self.violations.append((node, arg.id, mark, tail))
+
+
+class PackedWireRule(Rule):
+    """PACK001: no implicit packed/unpacked domain crossings."""
+
+    id = "PACK001"
+    severity = "error"
+    title = "packed/unpacked wire mix without explicit conversion"
+    rationale = (
+        "packed uint64 words and unpacked uint8 rows are both plain "
+        "ndarrays; crossing the gf2.bitops boundary without pack_rows/"
+        "unpack_rows produces numerically valid but wrong counts."
+    )
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for file in index.target_files():
+            for info in file.functions.values():
+                tracker = _Provenance()
+                for stmt in info.node.body:
+                    tracker.visit(stmt)
+                for call, name, mark, consumer in tracker.violations:
+                    other = "unpacked" if mark == "packed" else "packed"
+                    yield self.finding(
+                        index, file, call,
+                        f"{mark} array {name!r} passed to {other}-domain "
+                        f"{consumer}() in {info.qualname}()",
+                        hint=(
+                            "convert explicitly at the boundary "
+                            "(gf2.bitops.pack_rows/unpack_rows or "
+                            "backends.pack_detector_samples) or use the "
+                            "matching-domain API"
+                        ),
+                    )

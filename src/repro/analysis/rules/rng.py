@@ -1,0 +1,214 @@
+"""RNG001/RNG002 — the determinism contract.
+
+Every count this engine produces is bitwise reproducible because all
+randomness flows through explicit ``numpy.random.Generator`` streams
+seeded by the derived-seed scheme (:mod:`repro.rng`).  Global-state RNG
+calls break that silently: the result depends on import order, thread
+interleaving, and whatever sampled before you.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.index import SourceFile, SourceIndex, dotted_parts
+
+#: Legacy ``numpy.random`` module-level functions (global hidden state).
+_NP_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "bytes", "shuffle", "permutation",
+    "beta", "binomial", "exponential", "gamma", "geometric", "normal",
+    "poisson", "uniform", "get_state", "set_state", "RandomState",
+})
+
+#: ``random`` stdlib module functions with global hidden state.
+_STDLIB_LEGACY = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "getstate", "setstate", "betavariate", "expovariate", "randbytes",
+})
+
+#: Modules allowed to touch RNG construction primitives directly.
+_EXEMPT_MODULES = frozenset({"repro.rng"})
+
+
+def _np_random_call(file: SourceFile, call: ast.Call) -> str | None:
+    """``np.random.<fn>`` (any numpy alias) -> fn name, else None."""
+    parts = dotted_parts(call.func)
+    if not parts or len(parts) < 2:
+        return None
+    binding = file.bindings.get(parts[0])
+    if binding is None:
+        return None
+    # import numpy as np -> np.random.seed;  from numpy import random
+    # -> random.seed;  import numpy.random as nr -> nr.seed.
+    dotted = ".".join(
+        [binding.module + ("." + binding.attr if binding.attr else "")]
+        + parts[1:]
+    )
+    if dotted.startswith("numpy.random.") and dotted.count(".") == 2:
+        return dotted.rsplit(".", 1)[-1]
+    return None
+
+
+def _stdlib_random_call(file: SourceFile, call: ast.Call) -> str | None:
+    parts = dotted_parts(call.func)
+    if parts and len(parts) == 2:
+        binding = file.bindings.get(parts[0])
+        if binding is not None and binding.module == "random" and not binding.attr:
+            return parts[1]
+    if isinstance(call.func, ast.Name):
+        binding = file.bindings.get(call.func.id)
+        if binding is not None and binding.module == "random" and binding.attr:
+            return binding.attr
+    return None
+
+
+class GlobalRngRule(Rule):
+    """RNG001: no global-state RNG calls outside ``repro.rng``."""
+
+    id = "RNG001"
+    severity = "error"
+    title = "global-state RNG call"
+    rationale = (
+        "np.random.<fn> and stdlib random draw from hidden global "
+        "state; results then depend on import order and scheduling, "
+        "breaking the serial == pooled bitwise guarantee."
+    )
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for file in index.target_files():
+            if file.module in _EXEMPT_MODULES:
+                continue
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = _np_random_call(file, node)
+                if fn in _NP_LEGACY:
+                    yield self.finding(
+                        index, file, node,
+                        f"call to global-state np.random.{fn}",
+                        hint=(
+                            "thread an explicit numpy Generator through "
+                            "repro.rng.as_generator / chunk_generator"
+                        ),
+                    )
+                    continue
+                fn = _stdlib_random_call(file, node)
+                if fn in _STDLIB_LEGACY:
+                    yield self.finding(
+                        index, file, node,
+                        f"call to global-state random.{fn}",
+                        hint=(
+                            "thread an explicit numpy Generator through "
+                            "repro.rng.as_generator / chunk_generator"
+                        ),
+                    )
+
+
+def _is_public(qualname: str) -> bool:
+    return not any(part.startswith("_") for part in qualname.split("."))
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return names
+
+
+def _calls_name(node: ast.AST, name: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id == name:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == name:
+                return True
+    return False
+
+
+def _has_generator_branch(node: ast.AST, param: str) -> bool:
+    """``isinstance(param, ... Generator ...)`` anywhere in the body."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "isinstance"
+            and sub.args
+            and isinstance(sub.args[0], ast.Name)
+            and sub.args[0].id == param
+        ):
+            if "Generator" in ast.dump(sub.args[1] if len(sub.args) > 1 else sub):
+                return True
+    return False
+
+
+def _forwards_param(node: ast.AST, param: str) -> bool:
+    """``param`` passed (positionally or by keyword) to some call other
+    than ``default_rng`` — delegating the normalization downstream."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        tail = sub.func.attr if isinstance(sub.func, ast.Attribute) else (
+            sub.func.id if isinstance(sub.func, ast.Name) else None
+        )
+        if tail in ("default_rng", "as_generator", "isinstance"):
+            continue
+        for arg in sub.args:
+            if isinstance(arg, ast.Name) and arg.id == param:
+                return True
+        for kw in sub.keywords:
+            if isinstance(kw.value, ast.Name) and kw.value.id == param:
+                return True
+    return False
+
+
+class SeedContractRule(Rule):
+    """RNG002: public seed-taking entry points must normalize through
+    ``repro.rng.as_generator`` (seed-or-Generator contract)."""
+
+    id = "RNG002"
+    severity = "error"
+    title = "seed param bypasses as_generator"
+    rationale = (
+        "every public sampling entry point accepts seed-or-Generator; "
+        "normalizing anywhere but repro.rng.as_generator forks the "
+        "contract and drifts from the derived-seed scheme."
+    )
+
+    #: Parameter spellings that carry the seed-or-Generator contract.
+    PARAMS = ("seed", "seed_or_rng")
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for file in index.target_files():
+            if file.module in _EXEMPT_MODULES or not file.module.startswith(
+                "repro."
+            ):
+                continue
+            for info in file.functions.values():
+                if not _is_public(info.qualname):
+                    continue
+                params = [p for p in _param_names(info.node) if p in self.PARAMS]
+                if not params:
+                    continue
+                node = info.node
+                for param in params:
+                    if _calls_name(node, "as_generator"):
+                        continue
+                    if _has_generator_branch(node, param):
+                        continue
+                    if _forwards_param(node, param):
+                        continue
+                    yield self.finding(
+                        index, file, node,
+                        f"public entry point {info.qualname}() takes "
+                        f"{param!r} but never routes it through "
+                        f"repro.rng.as_generator",
+                        hint=(
+                            "normalize with as_generator(seed) (accepts "
+                            "None/int/SeedSequence/Generator) or forward "
+                            "the seed to an entry point that does"
+                        ),
+                    )

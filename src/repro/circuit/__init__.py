@@ -7,6 +7,7 @@ qubit / ``rec[-k]`` / Pauli targets, ``REPEAT n { ... }`` blocks, and
 ``#`` comments.
 """
 
+from repro.circuit.circuit import Circuit
 from repro.circuit.instructions import (
     Instruction,
     PauliTarget,
@@ -14,7 +15,6 @@ from repro.circuit.instructions import (
     RepeatBlock,
     Target,
 )
-from repro.circuit.circuit import Circuit
 from repro.circuit.parser import parse_circuit
 from repro.circuit.transforms import (
     depth,

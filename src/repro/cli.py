@@ -34,7 +34,6 @@ from repro.backends import (
     get_backend,
 )
 from repro.circuit import Circuit
-from repro.core import SymPhaseSimulator
 from repro.decoders import (
     available_decoders,
     decoder_choices,
@@ -281,8 +280,7 @@ def _cmd_decode(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    circuit = _load(args.circuit)
-    sim = SymPhaseSimulator.from_circuit(circuit)
+    sim = _load(args.circuit).compile().symbolic()
     print(f"# {sim.num_measurements} measurements, "
           f"{sim.symbols.n_symbols} symbols")
     for k in range(sim.num_measurements):

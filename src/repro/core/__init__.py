@@ -8,11 +8,11 @@ measurement outcome comes out as a bit-vector over those symbols;
 matrix product (Eq. 4) without touching the circuit again.
 """
 
+from repro.core.compiled_sampler import CompiledSampler, compile_sampler
 from repro.core.expression import SymbolicExpression
-from repro.core.symbols import SymbolInfo, SymbolTable
 from repro.core.phase_matrix import PhaseMatrix
 from repro.core.simulator import SymPhaseSimulator
-from repro.core.compiled_sampler import CompiledSampler, compile_sampler
+from repro.core.symbols import SymbolInfo, SymbolTable
 from repro.core.verification import (
     concrete_replay,
     random_assignment,

@@ -9,7 +9,7 @@ extra circuit simulation is needed — this is the fault-analysis
 application the paper's introduction motivates.
 """
 
-from repro.dem.model import DetectorErrorModel, ErrorMechanism
 from repro.dem.extract import extract_dem
+from repro.dem.model import DetectorErrorModel, ErrorMechanism
 
 __all__ = ["DetectorErrorModel", "ErrorMechanism", "extract_dem"]

@@ -27,9 +27,9 @@ import numpy as np
 
 import repro.obs as obs
 from repro.decoders.metrics import wilson_interval
+from repro.engine.adaptive import AdaptiveChunkSizer
 from repro.engine.options import UNSET, ExecutionOptions, explicit_kwargs
 from repro.engine.tasks import Task
-from repro.engine.adaptive import AdaptiveChunkSizer
 from repro.engine.workers import (
     ChunkRunner,
     plan_chunks,

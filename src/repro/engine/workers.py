@@ -40,8 +40,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-import repro.obs as obs
 import repro.engine.shm as shm
+import repro.obs as obs
 from repro.engine.cache import shared_cache
 from repro.engine.tasks import Task
 from repro.gf2 import bitops
@@ -419,12 +419,19 @@ def _pool_worker_init(config: dict, barrier=None) -> None:
     and its first ``flush_wire`` would re-ship them — every parent-side
     counter would double-count once per worker.  A worker's wire must
     carry only what the worker itself measured.
+
+    Inherited shared-memory attachments are dropped for the same
+    reason: a forked child starts with the parent's ``_ATTACHED`` map,
+    whose segments may belong to a previous run's arena and unlink
+    under the child at any time.  Each worker re-attaches on first
+    read, against the arena of *its* run.
     """
     global _IN_WORKER, _WARM_BARRIER
     _IN_WORKER = True
     _WARM_BARRIER = barrier
     obs.reset()
     obs.configure(config)
+    shm.detach_all()
 
 
 def _spec_from_header(header: ShmChunkSpec) -> ChunkSpec:

@@ -16,6 +16,7 @@ from repro.circuit.circuit import Circuit
 from repro.experiments.timing import format_table, time_call
 from repro.layout import make_layout
 from repro.qec import surface_code_memory
+from repro.rng import as_generator
 from repro.workloads.layered import (
     fig3a_circuit,
     fig3b_circuit,
@@ -49,7 +50,7 @@ def measure_circuit(
     compiled frame program — the strongest baseline) or
     ``"frame-interp"`` (the pre-compilation interpreter).
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     init_sym, sampler = time_call(
         lambda: compile_backend(circuit, "symbolic")
@@ -150,7 +151,7 @@ def run_table1(
     sampler = _cached_sampler(circuit)
     frame = _cached_sampler(circuit, "frame")
     shot_rows = []
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     for shots in shot_sweep:
         t_sym, _ = time_call(lambda: sampler.sample(shots, rng))
         t_frame, _ = time_call(lambda: frame.sample(shots, rng))
@@ -177,7 +178,7 @@ def run_fig2(
     n: int = 2048, n_ops: int = 512, seed: int = 0
 ) -> list[dict[str, float]]:
     """Fig. 2 / §4: row ops, column ops and mode switches per layout."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     rows = []
     for kind in ("chp", "stim8", "symphase512"):
         layout = make_layout(kind, n)
@@ -221,7 +222,7 @@ def run_sparse(
         before_measure_flip_probability=0.002,
     )
     sampler = _cached_sampler(circuit)
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     t_sparse, _ = time_call(lambda: sampler.sample(shots, rng, strategy="sparse"))
     t_dense, _ = time_call(lambda: sampler.sample(shots, rng, strategy="dense"))
     result = {

@@ -9,6 +9,7 @@ matrix product, and the data-layout experiments (paper Fig. 2) operate on
 packed bit-matrices.
 """
 
+from repro.gf2.bitmat import BitMatrix
 from repro.gf2.bitops import (
     WORD_BITS,
     bit_to_word,
@@ -26,18 +27,17 @@ from repro.gf2.bitops import (
     xor_bit,
     xor_select_rows,
 )
-from repro.gf2.bitmat import BitMatrix
-from repro.gf2.matmul import (
-    mul_dense,
-    mul_packed_abt,
-    mul_sparse_columns,
-)
 from repro.gf2.linalg import (
     inverse,
     nullspace,
     rank,
     rref,
     solve,
+)
+from repro.gf2.matmul import (
+    mul_dense,
+    mul_packed_abt,
+    mul_sparse_columns,
 )
 from repro.gf2.transpose import (
     transpose_bitmatrix,

@@ -6,7 +6,7 @@ Clifford conjugation tables and to express noise channels;
 validation.
 """
 
+from repro.pauli.dense import PAULI_MATRICES, dense_pauli
 from repro.pauli.pauli_string import PauliString
-from repro.pauli.dense import dense_pauli, PAULI_MATRICES
 
 __all__ = ["PauliString", "dense_pauli", "PAULI_MATRICES"]

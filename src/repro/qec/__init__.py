@@ -5,10 +5,10 @@ These produce the *sparse* circuits the paper's Table 1 footnote targets
 model machinery to turn clean circuits into circuit-level-noise ones.
 """
 
-from repro.qec.repetition import repetition_code_memory
-from repro.qec.surface import surface_code_memory
 from repro.qec.dems import repetition_code_dem, surface_code_dem
 from repro.qec.noise_models import NoiseModel, with_noise
+from repro.qec.repetition import repetition_code_memory
+from repro.qec.surface import surface_code_memory
 
 __all__ = [
     "NoiseModel",

@@ -12,10 +12,10 @@ import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.instructions import Instruction
+from repro.gates.database import get_gate
 from repro.gates.unitaries import UNITARIES_1Q, UNITARIES_2Q
 from repro.noise.channels import noise_groups
 from repro.rng import as_generator
-from repro.gates.database import get_gate
 
 _MAX_QUBITS = 12
 

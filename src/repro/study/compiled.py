@@ -91,6 +91,23 @@ class CompiledCircuit:
             lambda: compile_backend(self.circuit, self.sampler_name),
         )
 
+    def symbolic(self):
+        """The circuit's symbolic-phase analysis (Algorithm 1's Init).
+
+        A :class:`~repro.core.simulator.SymPhaseSimulator` exposing the
+        per-measurement symbolic expressions
+        (``measurement_expression``, ``measurement_support``) that the
+        compiled sampler's packed matrices no longer carry.  Built on
+        first access and memoized by circuit fingerprint, independent of
+        the chosen sampler backend.
+        """
+        from repro.core import SymPhaseSimulator
+
+        return shared_cache().get_or_build(
+            ("symbolic-analysis", self.fingerprint),
+            lambda: SymPhaseSimulator.from_circuit(self.circuit),
+        )
+
     @property
     def dem(self):
         """The merged detector error model (built on first access)."""

@@ -8,11 +8,11 @@ concretely (one shot per run) — the classic way to sample, and the
 source of the *reference sample* for the Pauli-frame baseline.
 """
 
-from repro.tableau.tableau import Tableau
-from repro.tableau.simulator import TableauSimulator, reference_sample
-from repro.tableau.sampler import TableauSampler
 from repro.tableau.clifford_map import CliffordMap
 from repro.tableau.packed import PackedTableau, simulate_hybrid
+from repro.tableau.sampler import TableauSampler
+from repro.tableau.simulator import TableauSimulator, reference_sample
+from repro.tableau.tableau import Tableau
 
 __all__ = [
     "CliffordMap",

@@ -1,10 +1,10 @@
 """Benchmark workload generators (the paper's §5 circuit families)."""
 
 from repro.workloads.layered import (
-    layered_random_circuit,
     fig3a_circuit,
     fig3b_circuit,
     fig3c_circuit,
+    layered_random_circuit,
 )
 
 __all__ = [

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.circuit import Circuit
+from repro.rng import as_generator
 
 _SINGLE_QUBIT_CHOICES = ("H", "S", "I")
 
@@ -26,13 +27,13 @@ def layered_random_circuit(
     cnot_pairs_per_layer: int = 5,
     depolarize_probability: float = 0.0,
     measure_fraction: float = 0.05,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
 ) -> Circuit:
     """Generate one layered random interaction circuit."""
     if n_qubits < 2:
         raise ValueError("need at least two qubits")
     layers = n_layers if n_layers is not None else n_qubits
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     qubits = np.arange(n_qubits)
     circuit = Circuit()
 

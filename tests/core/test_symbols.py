@@ -2,11 +2,11 @@
 
 import numpy as np
 
+from repro.circuit.instructions import Instruction
 from repro.core.symbols import SymbolTable
 from repro.gf2 import bitops
 from repro.gf2.transpose import transpose_bitmatrix
 from repro.noise.channels import measurement_group, noise_groups
-from repro.circuit.instructions import Instruction
 
 
 def _dep1_group(p=0.3, qubit=0):

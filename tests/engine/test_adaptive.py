@@ -56,7 +56,7 @@ class TestSizerUnit:
             512, target_seconds=0.1, min_shots=256, max_shots=2_048
         )
         # Wildly alternating rates: clamping must hold at every step.
-        for step, rate in enumerate([10, 10**7, 25, 10**6, 1, 10**8] * 5):
+        for rate in [10, 10**7, 25, 10**6, 1, 10**8] * 5:
             shots = sizer.next_shots()
             assert 256 <= shots <= 2_048
             sizer.observe(shots, shots / rate)

@@ -6,8 +6,8 @@ import time
 import pytest
 
 from repro.engine import ChunkRunner, plan_chunks
-from repro.engine.workers import ChunkResult
 from repro.engine.tasks import Task
+from repro.engine.workers import ChunkResult
 from repro.qec import repetition_code_memory
 
 

@@ -117,7 +117,7 @@ class TestLifecycle:
         specs = plan_chunks(make_task(max_shots=1200), 3, 100)
         with pytest.raises(RuntimeError, match="consumer failed"):
             with ChunkRunner(workers=2, transport="shm") as runner:
-                for result in runner.run(specs):
+                for _result in runner.run(specs):
                     raise RuntimeError("consumer failed")
         assert not leaked_segments()
 
