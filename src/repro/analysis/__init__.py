@@ -20,6 +20,7 @@ from repro.analysis.core import AnalysisResult, Finding, Rule
 from repro.analysis.index import SourceIndex
 from repro.analysis.report import (
     JSON_SCHEMA_VERSION,
+    render_github,
     render_json,
     render_text,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "all_rules",
     "analyze",
     "build_index",
+    "render_github",
     "render_json",
     "render_text",
     "rule_ids",

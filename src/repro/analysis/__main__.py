@@ -9,7 +9,7 @@ import argparse
 import sys
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_github, render_json, render_text
 from repro.analysis.rules import all_rules
 from repro.analysis.runner import analyze
 
@@ -32,8 +32,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip these rule ids (repeat or comma-separate)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text); 'github' emits Actions "
+             "::error/::warning annotations",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run rules on N forked workers (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental dataflow cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="incremental cache location "
+             "(default: ./.repro-analysis-cache)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE",
@@ -87,6 +101,9 @@ def main(argv: list[str] | None = None) -> int:
             ignore=_split_ids(args.ignore),
             baseline=baseline,
             include_context=not args.no_context,
+            jobs=max(args.jobs, 1),
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -94,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "github":
+        print(render_github(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return result.exit_code

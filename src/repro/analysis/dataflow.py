@@ -1,0 +1,319 @@
+"""Forward dataflow over a CFG: generic worklist solver + mark lattice.
+
+Two layers:
+
+* :class:`ForwardAnalysis` — the bare fixpoint machinery.  Subclasses
+  define the state lattice (``initial``/``join``) and the per-element
+  ``transfer`` function; :meth:`solve` runs a worklist in reverse
+  postorder until block-entry states stabilize.
+* :class:`MarkAnalysis` — the concrete lattice every shipped dataflow
+  rule uses: an environment mapping local names to *mark sets*
+  (``{"packed"}``, ``{"entropy"}``, ...).  A name absent from the
+  state is *unknown*; a name mapped to the empty set is *definitely
+  unmarked*.  Joins union marks pointwise and drop names either side
+  does not know — so a mark only survives a branch join if some path
+  actually produced it (may-analysis).
+
+Transfer functions interpret only the elements
+:mod:`repro.analysis.cfg` places in blocks: simple statements whole,
+compound statements by their header (an ``ast.For`` binds its target
+from its iterable; an ``ast.With`` binds its ``as`` names; an
+``ast.ExceptHandler`` binds its exception name).  Subclasses hook the
+domain in by overriding :meth:`MarkAnalysis.call_marks` (what marks a
+call's result carries) and friends.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Iterator
+
+from repro.analysis.cfg import CFG
+
+__all__ = ["EMPTY_MARKS", "ForwardAnalysis", "MarkAnalysis"]
+
+#: The "definitely unmarked" value (distinct from a name being absent).
+EMPTY_MARKS: frozenset[str] = frozenset()
+
+#: Hard ceiling on solver iterations; the mark lattice is finite so a
+#: well-formed analysis converges long before this — the cap exists so
+#: a buggy non-monotone transfer degrades to partial results, not a
+#: hung CI job.
+_MAX_VISITS_PER_BLOCK = 100
+
+State = dict
+
+
+class ForwardAnalysis:
+    """Worklist fixpoint over block-entry states."""
+
+    def initial(self) -> State:
+        """The state on entry to the function."""
+        return {}
+
+    def join(self, first: State, second: State) -> State:
+        raise NotImplementedError
+
+    def transfer(self, state: State, node: ast.AST) -> State:
+        """The state after ``node``; must not mutate ``state``."""
+        raise NotImplementedError
+
+    def _block_out(self, cfg: CFG, block_id: int, state: State) -> State:
+        for node in cfg.block(block_id).stmts:
+            state = self.transfer(state, node)
+        return state
+
+    def _block_flow(
+        self, cfg: CFG, block_id: int, state: State, want_exc: bool
+    ) -> tuple[State, State | None]:
+        """(out-state, any-point join) after the block.  The any-point
+        join — entry joined with the state after every element — is
+        what an *exceptional* edge carries: the raise may have fired
+        before any given element ran.  Skipped (None) when the block
+        has no outgoing exceptional edge."""
+        exc_state = state if want_exc else None
+        for node in cfg.block(block_id).stmts:
+            state = self.transfer(state, node)
+            if want_exc:
+                exc_state = self.join(exc_state, state)
+        return state, exc_state
+
+    def solve(self, cfg: CFG) -> dict[int, State]:
+        """Block-entry states at fixpoint, keyed by block id."""
+        order = cfg.rpo()
+        entry_states: dict[int, State] = {cfg.entry: self.initial()}
+        out_states: dict[int, State] = {}
+        exc_states: dict[int, State] = {}
+        exc_sources = {src for src, _ in cfg.exc_edges}
+        worklist: deque[int] = deque(order)
+        queued = set(order)
+        budget = _MAX_VISITS_PER_BLOCK * max(len(order), 1)
+        while worklist and budget > 0:
+            budget -= 1
+            block_id = worklist.popleft()
+            queued.discard(block_id)
+            block = cfg.block(block_id)
+            computed = []
+            for pred in sorted(block.preds):
+                source = (
+                    exc_states
+                    if (pred, block_id) in cfg.exc_edges
+                    else out_states
+                )
+                if pred in source:
+                    computed.append(source[pred])
+            if block_id == cfg.entry:
+                in_state = self.initial()
+                for state in computed:
+                    in_state = self.join(in_state, state)
+            elif computed:
+                in_state = computed[0]
+                for state in computed[1:]:
+                    in_state = self.join(in_state, state)
+            else:
+                continue  # no feeder solved yet; revisited via them
+            entry_states[block_id] = in_state
+            want_exc = block_id in exc_sources
+            out_state, exc_state = self._block_flow(
+                cfg, block_id, in_state, want_exc
+            )
+            changed = out_states.get(block_id) != out_state
+            out_states[block_id] = out_state
+            if want_exc:
+                changed = changed or exc_states.get(block_id) != exc_state
+                exc_states[block_id] = exc_state
+            if changed:
+                for succ in sorted(block.succs):
+                    if succ not in queued:
+                        queued.add(succ)
+                        worklist.append(succ)
+        self._out_states = out_states
+        return entry_states
+
+    def walk(self, cfg: CFG) -> Iterator[tuple[ast.AST, State]]:
+        """Every element with the solved state holding *before* it, in
+        deterministic (reverse postorder, in-block) order."""
+        entry_states = self.solve(cfg)
+        for block_id in cfg.rpo():
+            state = entry_states.get(block_id)
+            if state is None:
+                continue
+            for node in cfg.block(block_id).stmts:
+                yield node, state
+                state = self.transfer(state, node)
+
+    def exit_states(self, cfg: CFG) -> list[tuple[int, State]]:
+        """The solved out-state of every block feeding ``exit`` —
+        one entry per path leaving the function (returns, fall-through,
+        uncaught raises), for end-of-function obligations."""
+        self.solve(cfg)
+        return [
+            (pred, self._out_states[pred])
+            for pred in sorted(cfg.block(cfg.exit).preds)
+            if pred in self._out_states
+        ]
+
+
+class MarkAnalysis(ForwardAnalysis):
+    """Name -> mark-set environment with domain hooks."""
+
+    def initial(self) -> State:
+        return {}
+
+    def join(self, first: State, second: State) -> State:
+        if first is second:
+            return first
+        joined = {}
+        for name, marks in first.items():
+            other = second.get(name)
+            if other is not None:
+                joined[name] = marks | other
+        return joined
+
+    # -- domain hooks ----------------------------------------------------
+
+    def call_marks(self, state: State, call: ast.Call) -> frozenset[str]:
+        """Marks carried by ``call``'s result.  The domain's heart."""
+        return EMPTY_MARKS
+
+    def literal_marks(self, expr: ast.expr) -> frozenset[str]:
+        """Marks carried by a display literal (set/dict/list/...)."""
+        return EMPTY_MARKS
+
+    def def_marks(self, node: ast.AST) -> frozenset[str]:
+        """Marks a ``lambda`` or nested ``def``/``class`` binds."""
+        return EMPTY_MARKS
+
+    def iteration_marks(
+        self, state: State, iter_expr: ast.expr
+    ) -> frozenset[str]:
+        """Marks a ``for`` target picks up from its iterable (default:
+        the iterable's own marks)."""
+        return self.expr_marks(state, iter_expr)
+
+    # -- expression evaluation -------------------------------------------
+
+    def expr_marks(self, state: State, expr: ast.expr) -> frozenset[str]:
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, EMPTY_MARKS)
+        if isinstance(expr, ast.Call):
+            return self.call_marks(state, expr)
+        if isinstance(expr, ast.Lambda):
+            return self.def_marks(expr)
+        if isinstance(expr, (ast.Subscript, ast.Starred, ast.Attribute)):
+            return self.expr_marks(state, expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_marks(state, expr.body) | self.expr_marks(
+                state, expr.orelse
+            )
+        if isinstance(expr, ast.NamedExpr):
+            return self.expr_marks(state, expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            marks = EMPTY_MARKS
+            for element in expr.elts:
+                marks |= self.expr_marks(state, element)
+            return marks
+        if isinstance(
+            expr, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp,
+                   ast.ListComp, ast.GeneratorExp)
+        ):
+            return self.literal_marks(expr)
+        if isinstance(expr, ast.Await):
+            return self.expr_marks(state, expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            marks = EMPTY_MARKS
+            for value in expr.values:
+                marks |= self.expr_marks(state, value)
+            return marks
+        if isinstance(expr, ast.FormattedValue):
+            return self.expr_marks(state, expr.value)
+        if isinstance(expr, ast.BinOp):
+            # Taint survives arithmetic: time.time() - start is still
+            # wall-clock entropy.
+            return self.expr_marks(state, expr.left) | self.expr_marks(
+                state, expr.right
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self.expr_marks(state, expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            marks = EMPTY_MARKS
+            for value in expr.values:
+                marks |= self.expr_marks(state, value)
+            return marks
+        return EMPTY_MARKS
+
+    # -- transfer --------------------------------------------------------
+
+    def _bind(self, state: State, target: ast.expr, marks) -> State:
+        if isinstance(target, ast.Name):
+            state = dict(state)
+            state[target.id] = marks
+            return state
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Tuple unpack of a single marked value (the common
+            # ``detectors, observables = sample_packed(...)`` shape):
+            # every bound name inherits the value's marks.
+            for element in target.elts:
+                state = self._bind(state, element, marks)
+            return state
+        if isinstance(target, ast.Starred):
+            return self._bind(state, target.value, marks)
+        return state  # attribute/subscript stores: not tracked
+
+    def transfer(self, state: State, node: ast.AST) -> State:
+        if isinstance(node, ast.Assign):
+            marks = self.expr_marks(state, node.value)
+            for target in node.targets:
+                state = self._bind(state, target, marks)
+            return state
+        if isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return state
+            return self._bind(
+                state, node.target, self.expr_marks(state, node.value)
+            )
+        if isinstance(node, ast.AugAssign):
+            marks = self.expr_marks(state, node.value)
+            if isinstance(node.target, ast.Name):
+                marks = marks | state.get(node.target.id, EMPTY_MARKS)
+            return self._bind(state, node.target, marks)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._bind(
+                state, node.target, self.iteration_marks(state, node.iter)
+            )
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    state = self._bind(
+                        state,
+                        item.optional_vars,
+                        self.expr_marks(state, item.context_expr),
+                    )
+            return state
+        if isinstance(node, ast.ExceptHandler):
+            if node.name:
+                state = dict(state)
+                state[node.name] = EMPTY_MARKS
+            return state
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            state = dict(state)
+            state[node.name] = self.def_marks(node)
+            return state
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            state = dict(state)
+            for alias in node.names:
+                local = (alias.asname or alias.name).split(".", 1)[0]
+                state[local] = EMPTY_MARKS
+            return state
+        if isinstance(node, ast.Delete):
+            state = dict(state)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+            return state
+        if isinstance(node, ast.NamedExpr):
+            return self._bind(
+                state, node.target, self.expr_marks(state, node.value)
+            )
+        return state

@@ -66,6 +66,7 @@ class SourceFile:
         self.rel = rel
         self.is_target = is_target
         text = path.read_text(encoding="utf-8")
+        self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=str(path))
         self.module = _module_name(path)
@@ -193,11 +194,25 @@ def dotted_tail(node: ast.expr) -> str | None:
     return None
 
 
+@dataclass(frozen=True)
+class BrokenFile:
+    """A file that failed to parse — indexed as a record, not a crash,
+    so PARSE000 can report it while the rest of the tree analyzes."""
+
+    rel: str
+    is_target: bool
+    line: int
+    message: str
+
+
 class SourceIndex:
     """All parsed files plus cross-module lookup structure."""
 
-    def __init__(self, files: list[SourceFile]):
+    def __init__(
+        self, files: list[SourceFile], broken: list[BrokenFile] | None = None
+    ):
         self.files = files
+        self.broken: list[BrokenFile] = broken or []
         self.by_module: dict[str, SourceFile] = {}
         self.functions: dict[str, FunctionInfo] = {}
         self._by_bare_name: dict[str, list[FunctionInfo]] = {}
@@ -298,14 +313,26 @@ class IndexBuilder:
 
     def build(self) -> SourceIndex:
         files: list[SourceFile] = []
+        broken: list[BrokenFile] = []
         seen: set[Path] = set()
         for path, is_target in self._ordered_paths():
             resolved = path.resolve()
             if resolved in seen:
                 continue
             seen.add(resolved)
-            files.append(SourceFile(resolved, self._rel(resolved), is_target))
-        return SourceIndex(files)
+            rel = self._rel(resolved)
+            try:
+                files.append(SourceFile(resolved, rel, is_target))
+            except SyntaxError as exc:
+                broken.append(
+                    BrokenFile(
+                        rel=rel,
+                        is_target=is_target,
+                        line=exc.lineno or 1,
+                        message=exc.msg or "invalid syntax",
+                    )
+                )
+        return SourceIndex(files, broken)
 
     def _ordered_paths(self) -> Iterator[tuple[Path, bool]]:
         for target in self.targets:

@@ -1,14 +1,23 @@
-"""Human-text and JSON reporters over an :class:`AnalysisResult`."""
+"""Text, JSON, and GitHub-annotation reporters over an
+:class:`AnalysisResult`.
+
+The JSON report is a pure function of the findings — deliberately no
+timings — so a cold run and a warm cached run of the same tree are
+byte-identical (CI asserts this; wall-clock numbers live in the text
+reporter and the CLI only).
+"""
 
 from __future__ import annotations
 
 import json
 
-from repro.analysis.core import AnalysisResult, sort_findings
+from repro.analysis.core import AnalysisResult, Finding, sort_findings
 from repro.analysis.rules import all_rules
 
-#: Bumped when the JSON layout changes incompatibly; CI consumers pin it.
-JSON_SCHEMA_VERSION = 1
+#: Bumped when the JSON layout changes incompatibly; CI consumers pin
+#: it.  v2: dropped the non-deterministic "seconds" field (cold/warm
+#: byte-identity).
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: AnalysisResult, verbose: bool = False) -> str:
@@ -72,9 +81,51 @@ def render_json(result: AnalysisResult) -> str:
         "suppressed": [f.to_dict() for f in sort_findings(result.suppressed)],
         "baselined": [f.to_dict() for f in sort_findings(result.baselined)],
         "stale_baseline": result.stale_baseline,
-        "counts": result.counts(),
+        "counts": dict(sorted(result.counts().items())),
         "files_analyzed": result.files_analyzed,
-        "seconds": result.seconds,
         "exit_code": result.exit_code,
     }
     return json.dumps(payload, indent=2)
+
+
+def _annotation_property(value: str) -> str:
+    """GitHub workflow-command property escaping."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _annotation_message(value: str) -> str:
+    """GitHub workflow-command message escaping."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _annotation(finding: Finding) -> str:
+    level = "error" if finding.severity == "error" else "warning"
+    message = finding.message
+    if finding.hint:
+        message = f"{message} — hint: {finding.hint}"
+    return (
+        f"::{level} "
+        f"file={_annotation_property(finding.path)},"
+        f"line={finding.line},"
+        f"title={_annotation_property(finding.rule)}"
+        f"::{_annotation_message(message)}"
+    )
+
+
+def render_github(result: AnalysisResult) -> str:
+    """GitHub Actions ``::error``/``::warning`` annotations — one per
+    finding, so violations render inline on the PR diff.  A trailing
+    plain summary line keeps the raw log readable."""
+    lines = [_annotation(f) for f in sort_findings(result.findings)]
+    lines.append(
+        f"{len(result.findings)} finding(s) in "
+        f"{result.files_analyzed} file(s), "
+        f"{len(result.rules_run)} rule(s)"
+    )
+    return "\n".join(lines)

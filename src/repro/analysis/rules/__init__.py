@@ -11,10 +11,14 @@ from repro.analysis.core import Rule
 from repro.analysis.rules.api import FacadeRule
 from repro.analysis.rules.fork import ForkSafetyRule
 from repro.analysis.rules.obs_rules import ObsGranularityRule
-from repro.analysis.rules.pack import PackedWireRule
+from repro.analysis.rules.pack import PackedFlowRule, PackedWireRule
+from repro.analysis.rules.parse import ParseFailureRule
 from repro.analysis.rules.reg import RegistryRule
+from repro.analysis.rules.res import ResourcePathRule
 from repro.analysis.rules.rng import GlobalRngRule, SeedContractRule
+from repro.analysis.rules.seed import SeedTaintRule
 from repro.analysis.rules.shm import ShmUnlinkRule
+from repro.analysis.rules.wire import WireContractRule
 
 __all__ = ["all_rules", "rule_ids", "select_rules"]
 
@@ -22,13 +26,18 @@ __all__ = ["all_rules", "rule_ids", "select_rules"]
 def all_rules() -> list[Rule]:
     """One fresh instance of every shipped rule, ordered by id."""
     rules = [
+        ParseFailureRule(),
         GlobalRngRule(),
         SeedContractRule(),
+        SeedTaintRule(),
         ForkSafetyRule(),
         ShmUnlinkRule(),
         PackedWireRule(),
+        PackedFlowRule(),
         RegistryRule(),
         ObsGranularityRule(),
+        ResourcePathRule(),
+        WireContractRule(),
         FacadeRule(),
     ]
     return sorted(rules, key=lambda rule: rule.id)

@@ -1,14 +1,18 @@
-"""PACK001 — the packed uint64 wire must not silently mix with uint8
-rows.
+"""PACK001/PACK002 — the packed uint64 wire must not silently mix with
+uint8 rows.
 
 PR 5's hot path keeps shots bit-packed (shot-major uint64 words,
 little-endian bit order) from sampler to error count.  Packed and
 unpacked arrays are both plain ``np.ndarray``\\ s, so feeding one where
 the other is expected fails *silently* — popcounts of uint8 rows are
 valid numbers, just wrong ones.  Crossing the ``repro.gf2.bitops``
-boundary therefore requires an explicit pack/unpack call; this rule
-tracks value provenance through assignments and flags implicit
-crossings.
+boundary therefore requires an explicit pack/unpack call.
+
+**PACK002** is the real check: flow-sensitive provenance over each
+function's CFG, following packed/unpacked marks through assignments,
+branches, and function returns (interprocedural summaries).
+**PACK001** remains as the fallback for what the CFG layer cannot see
+— module-level statements (import-time wiring has no function CFG).
 """
 
 from __future__ import annotations
@@ -17,7 +21,14 @@ import ast
 from typing import Iterator
 
 from repro.analysis.core import Finding, Rule
-from repro.analysis.index import SourceIndex, dotted_tail
+from repro.analysis.index import SourceFile, SourceIndex, dotted_tail
+from repro.analysis.rules.flow import (
+    FlowRule,
+    calls_in,
+    describe_expr,
+    element_exprs,
+)
+from repro.analysis.summaries import DataflowContext, SummaryAnalysis
 
 #: Calls whose results are packed uint64 rows.
 PACKED_PRODUCERS = frozenset({
@@ -113,8 +124,20 @@ class _Provenance(ast.NodeVisitor):
                     self.violations.append((node, arg.id, mark, tail))
 
 
+_CONVERSION_HINT = (
+    "convert explicitly at the boundary "
+    "(gf2.bitops.pack_rows/unpack_rows or "
+    "backends.pack_detector_samples) or use the "
+    "matching-domain API"
+)
+
+
 class PackedWireRule(Rule):
-    """PACK001: no implicit packed/unpacked domain crossings."""
+    """PACK001: packed/unpacked crossings in module-level statements.
+
+    Function bodies are covered flow-sensitively by PACK002; this rule
+    keeps watching the one place a CFG does not exist — import-time
+    wiring at module scope."""
 
     id = "PACK001"
     severity = "error"
@@ -127,20 +150,77 @@ class PackedWireRule(Rule):
 
     def check(self, index: SourceIndex) -> Iterator[Finding]:
         for file in index.target_files():
-            for info in file.functions.values():
-                tracker = _Provenance()
-                for stmt in info.node.body:
-                    tracker.visit(stmt)
-                for call, name, mark, consumer in tracker.violations:
-                    other = "unpacked" if mark == "packed" else "packed"
-                    yield self.finding(
-                        index, file, call,
-                        f"{mark} array {name!r} passed to {other}-domain "
-                        f"{consumer}() in {info.qualname}()",
-                        hint=(
-                            "convert explicitly at the boundary "
-                            "(gf2.bitops.pack_rows/unpack_rows or "
-                            "backends.pack_detector_samples) or use the "
-                            "matching-domain API"
-                        ),
-                    )
+            tracker = _Provenance()
+            for stmt in file.tree.body:
+                tracker.visit(stmt)
+            for call, name, mark, consumer in tracker.violations:
+                other = "unpacked" if mark == "packed" else "packed"
+                yield self.finding(
+                    index, file, call,
+                    f"{mark} array {name!r} passed to {other}-domain "
+                    f"{consumer}() at module level",
+                    hint=_CONVERSION_HINT,
+                )
+
+
+class PackProvenanceAnalysis(SummaryAnalysis):
+    """Marks: ``packed`` / ``unpacked`` row provenance."""
+
+    domain_name = "pack"
+    domain_version = 1
+
+    def intrinsic_call_marks(
+        self, state, call: ast.Call
+    ) -> frozenset[str] | None:
+        tail = dotted_tail(call.func)
+        if tail in PACKED_PRODUCERS:
+            return frozenset({"packed"})
+        if tail in UNPACKED_PRODUCERS:
+            return frozenset({"unpacked"})
+        return None
+
+
+class PackedFlowRule(FlowRule):
+    """PACK002: flow-sensitive packed/unpacked provenance checking."""
+
+    id = "PACK002"
+    severity = "error"
+    title = "packed/unpacked provenance mix on a dataflow path"
+    rationale = (
+        "a value assigned from a packed producer on any path must not "
+        "reach an unpacked-domain consumer (and vice versa); both are "
+        "plain ndarrays, so the mix is silent."
+    )
+    version = 1
+    domain = PackProvenanceAnalysis
+
+    def check_file(
+        self,
+        index: SourceIndex,
+        context: DataflowContext,
+        file: SourceFile,
+        resolved,
+    ) -> Iterator[Finding]:
+        for info in file.functions.values():
+            analysis = PackProvenanceAnalysis(file, index, resolved)
+            cfg = context.cfg(info)
+            for element, state in analysis.walk(cfg):
+                for call in calls_in(element_exprs(element)):
+                    tail = dotted_tail(call.func)
+                    if tail in PACKED_CONSUMERS:
+                        expected = "packed"
+                    elif tail in UNPACKED_CONSUMERS:
+                        expected = "unpacked"
+                    else:
+                        continue
+                    wrong = "unpacked" if expected == "packed" else "packed"
+                    for arg in call.args:
+                        marks = analysis.expr_marks(state, arg)
+                        if wrong in marks and expected not in marks:
+                            yield self.finding(
+                                index, file, call,
+                                f"{wrong} value {describe_expr(arg)} "
+                                f"passed to {expected}-domain {tail}() "
+                                f"in {info.qualname}()",
+                                hint=_CONVERSION_HINT,
+                            )

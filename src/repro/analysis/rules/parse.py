@@ -1,0 +1,42 @@
+"""PARSE000 — a file that does not parse is a finding, not a crash.
+
+Indexing tolerates ``SyntaxError`` (the broken file is recorded and
+the rest of the tree analyzes normally); this rule surfaces each
+broken *target* file as a structured finding so the failure lands in
+reports, baselines, CI annotations, and the exit code like any other
+violation — instead of aborting the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.index import SourceIndex
+
+
+class ParseFailureRule(Rule):
+    """PARSE000: every analyzed file must parse."""
+
+    id = "PARSE000"
+    severity = "error"
+    title = "file failed to parse"
+    rationale = (
+        "an unparseable file is invisible to every other rule; the "
+        "analyzer reports it and keeps going rather than aborting the "
+        "tree."
+    )
+
+    def check(self, index: SourceIndex) -> Iterator[Finding]:
+        for broken in index.broken:
+            if not broken.is_target:
+                continue
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=broken.rel,
+                line=broken.line,
+                message=f"SyntaxError: {broken.message}",
+                hint="fix the syntax error; no other rule saw this file",
+                symbol="<module>",
+            )

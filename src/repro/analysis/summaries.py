@@ -1,0 +1,232 @@
+"""Interprocedural function summaries over the SourceIndex call graph.
+
+A flow-sensitive rule wants to know what a *call* returns: does
+``helper()`` hand back a packed array, an unseeded entropy value?  The
+answer is the callee's **summary** — the set of marks its return value
+may carry — computed in two phases so it caches per module:
+
+1. **Local equations** (expensive, per-module, cacheable): run the
+   domain's :class:`SummaryAnalysis` over each function's CFG with
+   callee results left *symbolic* — a call resolved to an indexed
+   function contributes a ``ret:<module:qualname>`` pseudo-mark
+   instead of real marks.  The result depends only on the module's own
+   source, so it is cached keyed by the module's content hash.
+2. **Resolution** (cheap, whole-tree): substitute the symbolic
+   references to a fixpoint over the call graph.  Cycles converge
+   because marks only accumulate.
+
+:class:`DataflowContext` owns the memoized CFGs, per-domain summary
+tables and their content hashes; one context is attached per
+:class:`~repro.analysis.index.SourceIndex` so every dataflow rule in a
+run shares the work.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import weakref
+
+from repro.analysis.cache import AnalysisCache, content_hash
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import EMPTY_MARKS, MarkAnalysis
+from repro.analysis.index import FunctionInfo, SourceFile, SourceIndex
+
+__all__ = ["DataflowContext", "SummaryAnalysis", "get_context"]
+
+_SYMBOLIC = "ret:"
+
+
+class SummaryAnalysis(MarkAnalysis):
+    """Mark analysis that resolves indexed calls through summaries.
+
+    Subclasses are the *domains*: set ``domain_name``/``domain_version``
+    and override :meth:`intrinsic_call_marks` (and, when the domain
+    needs them, the literal/def/iteration hooks of
+    :class:`~repro.analysis.dataflow.MarkAnalysis`).
+
+    ``resolved=None`` puts the instance in *summary phase*: calls that
+    resolve to indexed functions yield symbolic ``ret:`` references for
+    the fixpoint.  Passing the resolved table puts it in *check phase*:
+    the same calls yield the callee's final marks.
+    """
+
+    #: Cache partition + staleness knobs; bump the version whenever the
+    #: domain's semantics change.
+    domain_name = "marks"
+    domain_version = 1
+
+    def __init__(
+        self,
+        file: SourceFile,
+        index: SourceIndex,
+        resolved: dict[str, frozenset[str]] | None = None,
+    ):
+        self.file = file
+        self.index = index
+        self.resolved = resolved
+
+    def intrinsic_call_marks(
+        self, state, call: ast.Call
+    ) -> frozenset[str] | None:
+        """Marks produced by a known producer/sanitizer call, or None
+        when the call is not intrinsic to the domain."""
+        return None
+
+    def call_marks(self, state, call: ast.Call) -> frozenset[str]:
+        intrinsic = self.intrinsic_call_marks(state, call)
+        if intrinsic is not None:
+            return intrinsic
+        infos = self.index.resolve_call(self.file, call)
+        if infos:
+            marks: frozenset[str] = EMPTY_MARKS
+            for info in infos:
+                if self.resolved is None:
+                    marks |= frozenset((f"{_SYMBOLIC}{info.key}",))
+                else:
+                    marks |= self.resolved.get(info.key, EMPTY_MARKS)
+            return marks
+        if isinstance(call.func, ast.Attribute):
+            # Unresolvable method call: assume the result keeps the
+            # receiver's marks (payload.encode(), rows.copy(), ...).
+            return self.expr_marks(state, call.func.value)
+        return EMPTY_MARKS
+
+
+def _function_returns(
+    analysis: SummaryAnalysis, cfg: CFG
+) -> frozenset[str]:
+    """Marks the function's return value may carry (summary phase)."""
+    returns: frozenset[str] = EMPTY_MARKS
+    has_return = any(
+        isinstance(node, ast.Return) and node.value is not None
+        for block in cfg.blocks.values()
+        for node in block.stmts
+    )
+    if not has_return:
+        return returns
+    for node, state in analysis.walk(cfg):
+        if isinstance(node, ast.Return) and node.value is not None:
+            returns |= analysis.expr_marks(state, node.value)
+    return returns
+
+
+def _resolve(local: dict[str, frozenset[str]]) -> dict[str, frozenset[str]]:
+    """Substitute symbolic callee references to a fixpoint."""
+    resolved = {
+        key: {mark for mark in marks if not mark.startswith(_SYMBOLIC)}
+        for key, marks in local.items()
+    }
+    deps = {
+        key: [
+            mark[len(_SYMBOLIC):]
+            for mark in marks
+            if mark.startswith(_SYMBOLIC)
+        ]
+        for key, marks in local.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, callees in deps.items():
+            mine = resolved[key]
+            for callee in callees:
+                extra = resolved.get(callee)
+                if extra and not extra <= mine:
+                    mine |= extra
+                    changed = True
+    return {key: frozenset(marks) for key, marks in resolved.items()}
+
+
+class DataflowContext:
+    """Shared, memoized dataflow state for one index: CFGs, per-domain
+    summary tables, content hashes, and the (optional) disk cache."""
+
+    def __init__(self, index: SourceIndex, cache: AnalysisCache | None):
+        self.index = index
+        self.cache = cache if cache is not None else AnalysisCache(None)
+        self._cfgs: dict[str, CFG] = {}
+        self._file_hashes: dict[str, str] = {}
+        self._tables: dict[str, dict[str, frozenset[str]]] = {}
+        self._table_hashes: dict[str, str] = {}
+
+    def cfg(self, info: FunctionInfo) -> CFG:
+        cfg = self._cfgs.get(info.key)
+        if cfg is None:
+            cfg = self._cfgs[info.key] = build_cfg(info.node)
+        return cfg
+
+    def file_hash(self, file: SourceFile) -> str:
+        digest = self._file_hashes.get(file.rel)
+        if digest is None:
+            digest = self._file_hashes[file.rel] = content_hash(file.text)
+        return digest
+
+    def _domain_key(self, domain: type[SummaryAnalysis]) -> str:
+        return f"{domain.domain_name}-v{domain.domain_version}"
+
+    def _local_summaries(
+        self, domain: type[SummaryAnalysis], file: SourceFile
+    ) -> dict[str, list[str]]:
+        section = f"locals-{self._domain_key(domain)}"
+        key = self.file_hash(file)
+        cached = self.cache.get(section, key)
+        if isinstance(cached, dict) and isinstance(
+            cached.get("functions"), dict
+        ):
+            return cached["functions"]
+        analysis = domain(file, self.index, resolved=None)
+        functions = {
+            info.key: sorted(_function_returns(analysis, self.cfg(info)))
+            for info in file.functions.values()
+        }
+        self.cache.put(section, key, {"functions": functions})
+        return functions
+
+    def summaries(
+        self, domain: type[SummaryAnalysis]
+    ) -> dict[str, frozenset[str]]:
+        """The resolved summary table for ``domain`` (whole index —
+        context files included, so cross-module calls resolve even
+        when only a subtree is being analyzed)."""
+        name = self._domain_key(domain)
+        table = self._tables.get(name)
+        if table is None:
+            local: dict[str, frozenset[str]] = {}
+            for file in self.index.files:
+                for key, marks in self._local_summaries(
+                    domain, file
+                ).items():
+                    local[key] = frozenset(marks)
+            table = self._tables[name] = _resolve(local)
+            self._table_hashes[name] = content_hash(
+                json.dumps(
+                    {key: sorted(marks) for key, marks in table.items()},
+                    sort_keys=True,
+                )
+            )
+        return table
+
+    def table_hash(self, domain: type[SummaryAnalysis]) -> str:
+        """Content hash of the resolved table (part of findings keys)."""
+        name = self._domain_key(domain)
+        if name not in self._table_hashes:
+            self.summaries(domain)
+        return self._table_hashes[name]
+
+
+_CONTEXTS: "weakref.WeakKeyDictionary[SourceIndex, DataflowContext]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_context(index: SourceIndex) -> DataflowContext:
+    """The index's shared dataflow context (created on first use; the
+    runner attaches the disk cache as ``index.analysis_cache``)."""
+    context = _CONTEXTS.get(index)
+    if context is None:
+        context = DataflowContext(
+            index, getattr(index, "analysis_cache", None)
+        )
+        _CONTEXTS[index] = context
+    return context

@@ -6,10 +6,12 @@ import pytest
 
 from repro.analysis import (
     JSON_SCHEMA_VERSION,
+    AnalysisResult,
     Baseline,
     Finding,
     all_rules,
     analyze,
+    render_github,
     render_json,
     render_text,
     rule_ids,
@@ -49,6 +51,7 @@ class TestRuleRegistry:
         assert set(rule_ids()) >= {
             "RNG001", "RNG002", "FORK001", "SHM001",
             "PACK001", "REG001", "OBS001", "API001",
+            "PARSE000", "SEED001", "PACK002", "RES001", "WIRE001",
         }
 
     def test_select_and_ignore(self):
@@ -163,14 +166,15 @@ class TestReporters:
         payload = json.loads(render_json(self.run_violation(tmp_path)))
         assert set(payload) == {
             "version", "rules", "findings", "suppressed", "baselined",
-            "stale_baseline", "counts", "files_analyzed", "seconds",
-            "exit_code",
+            "stale_baseline", "counts", "files_analyzed", "exit_code",
         }
         assert payload["version"] == JSON_SCHEMA_VERSION
         assert payload["exit_code"] == 1
         assert payload["counts"] == {"RNG001": 1}
         assert payload["files_analyzed"] == 1
-        assert isinstance(payload["seconds"], float)
+        # No "seconds" field: the JSON report is a pure function of the
+        # findings so cold and warm cache runs stay byte-identical.
+        assert "seconds" not in payload
         (finding,) = payload["findings"]
         assert set(finding) == {
             "rule", "severity", "path", "line", "message", "hint", "symbol"
@@ -182,6 +186,28 @@ class TestReporters:
         for rule_id, meta in payload["rules"].items():
             assert set(meta) == {"severity", "title", "rationale"}
             assert rule_id in payload["rules"]
+
+    def test_github_annotations(self, tmp_path):
+        text = render_github(self.run_violation(tmp_path))
+        lines = text.splitlines()
+        assert lines[0].startswith("::error ")
+        assert "file=roll.py" in lines[0]
+        assert "line=3" in lines[0]
+        assert "title=RNG001" in lines[0]
+        assert "::" in lines[0].split("title=RNG001", 1)[1]
+        assert lines[-1] == "1 finding(s) in 1 file(s), 13 rule(s)"
+
+    def test_github_annotation_escaping(self):
+        finding = Finding(
+            "RNG001", "warning", "a,b.py", 7,
+            "bad: 100% broken\nreally",
+        )
+        result = AnalysisResult(
+            findings=[finding], files_analyzed=1, rules_run=("RNG001",),
+        )
+        (annotation, _summary) = render_github(result).splitlines()
+        assert annotation.startswith("::warning file=a%2Cb.py,line=7,")
+        assert "100%25 broken%0Areally" in annotation
 
     def test_text_report(self, tmp_path):
         text = render_text(self.run_violation(tmp_path))
