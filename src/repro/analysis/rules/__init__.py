@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.core import Rule
 from repro.analysis.rules.api import FacadeRule
+from repro.analysis.rules.exceptions import SilentExceptionRule
 from repro.analysis.rules.fork import ForkSafetyRule
 from repro.analysis.rules.obs_rules import ObsGranularityRule
 from repro.analysis.rules.pack import PackedFlowRule, PackedWireRule
@@ -31,6 +32,7 @@ def all_rules() -> list[Rule]:
         SeedContractRule(),
         SeedTaintRule(),
         ForkSafetyRule(),
+        SilentExceptionRule(),
         ShmUnlinkRule(),
         PackedWireRule(),
         PackedFlowRule(),

@@ -172,6 +172,33 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "overrides).  Counts are bitwise identical either way"
         ),
     )
+    parser.add_argument(
+        "--max-chunk-retries", type=int, default=2, metavar="N",
+        help=(
+            "retries per failed chunk lease (worker death, expired "
+            "deadline, in-chunk exception) before the chunk is "
+            "quarantined as a structured failure row (default 2).  "
+            "Retries replay identical shots, so counts never change"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        dest="chunk_timeout",
+        help=(
+            "per-chunk lease deadline for pooled runs; an overdue lease "
+            "kills its worker and requeues the chunk (default: no "
+            "deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
+        help=(
+            "base of the bounded exponential retry delay: a chunk's "
+            "attempt N waits backoff * 2**N seconds, capped (default "
+            "0.1).  Fault injection for chaos testing comes from the "
+            "REPRO_FAULTS environment variable (see repro.engine.faults)"
+        ),
+    )
 
 
 def _execution_options(args: argparse.Namespace, **extra):
@@ -185,6 +212,9 @@ def _execution_options(args: argparse.Namespace, **extra):
         chunk_shots=2_000 if adaptive else args.chunk_shots,
         adaptive_chunks=adaptive,
         transport=args.transport,
+        max_chunk_retries=args.max_chunk_retries,
+        chunk_timeout_seconds=args.chunk_timeout,
+        retry_backoff=args.retry_backoff,
         **extra,
     )
 
@@ -385,7 +415,40 @@ def _print_profile(results) -> None:
               f"(result received -> yielded, summed)")
         print(f"  {'transport':<14} {transport:>9,} B  "
               f"(pickled specs + results, both ways)")
+    _print_recovery_profile()
     _print_worker_profile()
+
+
+def _print_recovery_profile() -> None:
+    """Fault-tolerance counters from the run's metrics registry.
+
+    Silent when the run saw no faults — these lines only appear when
+    the supervisor actually retried, re-leased, or quarantined work,
+    so a clean profile stays clean.
+    """
+    reg = obs.registry()
+
+    def total(name: str) -> float:
+        return sum(metric.value for _, metric in reg.select(name))
+
+    retries = int(total("repro_chunk_retries_total"))
+    deaths = int(total("repro_worker_deaths_total"))
+    expired = int(total("repro_lease_expired_total"))
+    quarantined = int(total("repro_chunks_quarantined"))
+    degraded = int(total("repro_transport_degraded_total"))
+    if not (retries or deaths or expired or quarantined or degraded):
+        return
+    print("recovery:")
+    print(f"  {'chunk retries':<14} {retries:>8}  (re-leased and replayed)")
+    print(f"  {'worker deaths':<14} {deaths:>8}  (crashed, pool replenished)")
+    print(f"  {'leases expired':<14} {expired:>8}  (deadline hit, worker "
+          f"killed)")
+    if quarantined:
+        print(f"  {'quarantined':<14} {quarantined:>8}  (chunks given up on; "
+              f"see failure rows)")
+    if degraded:
+        print(f"  {'shm degraded':<14} {degraded:>8}  (runs fell back to "
+              f"pickle wire)")
 
 
 def _print_worker_profile() -> None:
@@ -450,7 +513,12 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     def report(stats) -> None:
         meta = stats.metadata
         low, high = stats.wilson()
-        tag = "resumed" if stats.resumed else f"{stats.seconds:7.2f}s"
+        if stats.resumed:
+            tag = "resumed"
+        elif stats.failed_chunks:
+            tag = "partial"  # quarantined chunks; rerun to re-attempt
+        else:
+            tag = f"{stats.seconds:7.2f}s"
         print(
             f"{meta.get('code', '?'):>10} {meta.get('distance', '?'):>3} "
             f"{meta.get('p', '?'):>8} {meta.get('rounds', '?'):>6} | "

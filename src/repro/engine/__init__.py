@@ -21,6 +21,7 @@ or from the command line: ``python -m repro collect --help``.
 from repro.engine.adaptive import AdaptiveChunkSizer
 from repro.engine.cache import SamplerCache, shared_cache
 from repro.engine.collector import ResultStore, TaskStats, collect, fresh_base_seed
+from repro.engine.faults import FaultClause, FaultInjected, FaultPlan
 from repro.engine.options import ExecutionOptions
 from repro.engine.tasks import Task
 from repro.engine.workers import (
@@ -40,6 +41,9 @@ __all__ = [
     "ChunkRunner",
     "ChunkSpec",
     "ExecutionOptions",
+    "FaultClause",
+    "FaultInjected",
+    "FaultPlan",
     "ResultStore",
     "SamplerCache",
     "TRANSPORTS",

@@ -54,6 +54,11 @@ class TaskStats:
     chunks, and ``transport_bytes`` the pickled spec+result payloads
     both ways; all three stay 0 for in-process runs and for runs
     without telemetry (they are observations, not part of the counts).
+
+    ``failed_chunks`` counts quarantined chunks — chunks that exhausted
+    their retry budget.  Their shots are *not* in ``shots``: the task's
+    counts stay honest, the task is considered incomplete (no store row
+    is written for it), and a resume re-attempts it.
     """
 
     task_id: str
@@ -72,6 +77,7 @@ class TaskStats:
     queue_wait_seconds: float = 0.0
     hold_seconds: float = 0.0
     transport_bytes: int = 0
+    failed_chunks: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -84,6 +90,9 @@ class TaskStats:
         low, high = self.wilson()
         row = asdict(self)
         row.pop("resumed")
+        # Rows are only written for complete tasks, so the count is
+        # always 0 there; it lives on the object for progress reporting.
+        row.pop("failed_chunks")
         row.update(error_rate=self.error_rate, wilson_low=low, wilson_high=high)
         return row
 
@@ -117,49 +126,122 @@ class TaskStats:
 class ResultStore:
     """Append-only JSONL store of finished task rows.
 
-    One line per finished task.  Appends are flushed immediately, so a
-    killed run loses at most the task in flight; duplicate task ids keep
-    the latest row on load.
+    One line per finished task, written atomically enough for crash
+    recovery: each append is a single ``write`` + ``flush`` +
+    ``fsync``, so a killed run leaves at most one torn *final* line —
+    which ``load()`` silently drops (the durability contract makes any
+    earlier line complete, so mid-file garbage still warns).  Duplicate
+    task ids keep the latest row on load.
+
+    Besides task rows the store records *quarantine rows* — structured
+    failure records (``{"kind": "quarantine", ...}``) for chunks that
+    exhausted their retry budget.  A task with quarantined chunks gets
+    no task row, so a resume re-attempts it (and thereby its poison
+    chunks); the failure rows remain as the durable audit trail of what
+    failed and why.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
 
-    def load(self) -> dict[str, TaskStats]:
-        """All stored rows keyed by ``task_id`` (empty if no file yet)."""
-        rows: dict[str, TaskStats] = {}
+    def _iter_rows(self):
+        """Parsed ``(line_number, row_dict)`` pairs, with crash-tail
+        recovery: an unparsable *final* line with no trailing newline is
+        what a killed ``append`` leaves behind and is skipped silently;
+        corruption anywhere else still warns."""
         if not os.path.exists(self.path):
-            return rows
+            return
         with open(self.path, errors="replace") as handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
+            content = handle.read()
+        lines = content.split("\n")
+        # A file ending in "\n" splits to a trailing "" — then no line
+        # is torn.  Otherwise the final element is an unterminated
+        # (possibly half-written) line.
+        torn_candidate = len(lines) - 1 if lines[-1] != "" else -1
+        for number, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("row is not a JSON object")
+            except (json.JSONDecodeError, ValueError):
+                if number == torn_candidate:
+                    # Torn tail from a killed run: expected, recover
+                    # silently; the row's task simply re-collects.
                     continue
-                try:
-                    row = json.loads(line)
-                    if not isinstance(row, dict):
-                        raise ValueError("row is not a JSON object")
-                    stats = TaskStats.from_row(row)
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    # A torn trailing line (or stray garbage bytes) is
-                    # what a killed run leaves behind; the row's task
-                    # simply re-collects.
-                    print(
-                        f"warning: skipping corrupt row at "
-                        f"{self.path}:{number}",
-                        file=sys.stderr,
-                    )
-                    continue
-                rows[stats.task_id] = stats
+                print(
+                    f"warning: skipping corrupt row at "
+                    f"{self.path}:{number + 1}",
+                    file=sys.stderr,
+                )
+                continue
+            yield number + 1, row
+
+    def load(self) -> dict[str, TaskStats]:
+        """All completed task rows keyed by ``task_id`` (empty if no
+        file yet).  Kind-tagged rows (quarantine records) are not task
+        rows and are skipped here — see :meth:`load_failures`."""
+        rows: dict[str, TaskStats] = {}
+        for number, row in self._iter_rows():
+            if row.get("kind") is not None:
+                continue
+            try:
+                stats = TaskStats.from_row(row)
+            except (KeyError, TypeError, ValueError):
+                print(
+                    f"warning: skipping corrupt row at "
+                    f"{self.path}:{number}",
+                    file=sys.stderr,
+                )
+                continue
+            rows[stats.task_id] = stats
         return rows
 
-    def append(self, stats: TaskStats) -> None:
+    def load_failures(self) -> list[dict[str, Any]]:
+        """Every quarantine row, in append order."""
+        return [
+            row
+            for _number, row in self._iter_rows()
+            if row.get("kind") == "quarantine"
+        ]
+
+    def _append_row(self, row: dict[str, Any]) -> None:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         with open(self.path, "a") as handle:
-            handle.write(json.dumps(stats.to_row()) + "\n")
+            handle.write(json.dumps(row) + "\n")
             handle.flush()
+            # fsync bounds crash damage to one torn final line: every
+            # preceding line is durably complete, which is what lets
+            # load() treat mid-file corruption as an anomaly worth
+            # warning about and the tail as routine crash recovery.
+            os.fsync(handle.fileno())
+
+    def append(self, stats: TaskStats) -> None:
+        self._append_row(stats.to_row())
+
+    def append_failure(
+        self,
+        task_id: str,
+        chunk_index: int,
+        attempts: int,
+        error: str,
+        base_seed: int | None = None,
+    ) -> None:
+        """Record one quarantined chunk as a structured failure row."""
+        self._append_row(
+            {
+                "kind": "quarantine",
+                "task_id": task_id,
+                "chunk_index": chunk_index,
+                "attempts": attempts,
+                "error": error,
+                "base_seed": base_seed,
+            }
+        )
 
 
 def fresh_base_seed() -> int:
@@ -185,6 +267,10 @@ def collect(
     profile: bool = UNSET,
     transport: str = UNSET,
     adaptive_chunks: bool = UNSET,
+    max_chunk_retries: int = UNSET,
+    chunk_timeout_seconds: float | None = UNSET,
+    retry_backoff: float = UNSET,
+    fault_plan: Any = UNSET,
 ) -> list[TaskStats]:
     """Collect statistics for every task; returns one TaskStats per task.
 
@@ -217,6 +303,13 @@ def collect(
       ``options.target_chunk_seconds`` instead of fixed
       ``chunk_shots``; changes which shots are drawn, so off by
       default (see :class:`~repro.engine.options.ExecutionOptions`).
+    * ``max_chunk_retries`` / ``chunk_timeout_seconds`` /
+      ``retry_backoff`` / ``fault_plan`` — fault-tolerance policy for
+      pooled runs (lease deadlines, bounded-backoff retry, quarantine,
+      chaos injection); see
+      :class:`~repro.engine.options.ExecutionOptions`.  A task with
+      quarantined chunks gets quarantine rows instead of a task row,
+      so resuming against the same store re-attempts it.
     """
     passed = explicit_kwargs(
         base_seed=base_seed,
@@ -228,6 +321,10 @@ def collect(
         profile=profile,
         transport=transport,
         adaptive_chunks=adaptive_chunks,
+        max_chunk_retries=max_chunk_retries,
+        chunk_timeout_seconds=chunk_timeout_seconds,
+        retry_backoff=retry_backoff,
+        fault_plan=fault_plan,
     )
     if options is None:
         options = ExecutionOptions(**passed)
@@ -258,7 +355,12 @@ def collect(
     results: list[TaskStats] = []
     try:
         with ChunkRunner(
-            workers=options.workers, transport=options.transport
+            workers=options.workers,
+            transport=options.transport,
+            max_chunk_retries=options.max_chunk_retries,
+            chunk_timeout_seconds=options.chunk_timeout_seconds,
+            retry_backoff=options.retry_backoff,
+            fault_plan=options.fault_plan,
         ) as runner:
             for task in task_list:
                 task_id = task.strong_id()
@@ -281,8 +383,12 @@ def collect(
                 # worker before its first chunk (a no-op serially and
                 # for already-warmed triples).
                 runner.warm(warm_spec(task, run_seed))
-                stats = _collect_one(task, runner, run_seed, options)
-                if store is not None:
+                stats = _collect_one(task, runner, run_seed, options, store)
+                # A task with quarantined chunks is incomplete: its
+                # quarantine rows are already in the store, but no task
+                # row is written, so a resume re-attempts the whole
+                # task (and thereby its poison chunks).
+                if store is not None and stats.failed_chunks == 0:
                     store.append(stats)
                 results.append(stats)
                 if progress is not None:
@@ -298,6 +404,7 @@ def _collect_one(
     runner: ChunkRunner,
     base_seed: int,
     options: ExecutionOptions,
+    store: ResultStore | None = None,
 ) -> TaskStats:
     """Run one task's chunks through the runner with ordered early stop."""
     stats = TaskStats(
@@ -326,6 +433,21 @@ def _collect_one(
         "task", task=stats.task_id, decoder=task.decoder, sampler=task.sampler
     ) as task_sp:
         for result in runner.run(specs):
+            if result.failed:
+                # Quarantined: the chunk's shots never happened, so
+                # they must not enter the counts.  Record the failure
+                # durably and keep folding — one poison chunk degrades
+                # the task to partial instead of aborting the sweep.
+                stats.failed_chunks += 1
+                if store is not None:
+                    store.append_failure(
+                        task_id=stats.task_id,
+                        chunk_index=result.chunk_index,
+                        attempts=result.attempt + 1,
+                        error=result.error,
+                        base_seed=base_seed,
+                    )
+                continue
             if sizer is not None:
                 sizer.observe(result.shots, result.seconds)
             stats.shots += result.shots

@@ -79,6 +79,22 @@ class ExecutionOptions:
       are drawn (exactly like changing ``chunk_shots``), so it is
       off by default and should stay consistently on or off across
       runs that share a store.
+    * ``max_chunk_retries`` — how many times a failed chunk lease
+      (worker death, expired deadline, in-chunk exception) is retried
+      before the chunk is quarantined as a structured failure row.
+      Retries replay identical shots (the chunk RNG derives from the
+      spec alone), so recovery never changes counts.
+    * ``chunk_timeout_seconds`` — per-chunk lease deadline for pooled
+      runs; an overdue lease kills its worker and requeues the chunk.
+      ``None`` (the default) means no deadline.
+    * ``retry_backoff`` — base of the bounded exponential retry delay
+      (``retry_backoff * 2**attempt`` seconds, capped).
+    * ``fault_plan`` — a :class:`repro.engine.faults.FaultPlan` (or its
+      string syntax) injecting deterministic worker crashes for chaos
+      testing; ``None`` defers to the ``REPRO_FAULTS`` environment
+      variable, which is a noop when unset.  Faults fire only inside
+      pool workers, so the counts still come out identical — that is
+      the point.
     """
 
     workers: int = 1
@@ -95,6 +111,10 @@ class ExecutionOptions:
     target_chunk_seconds: float = 0.25
     min_chunk_shots: int = 256
     max_chunk_shots: int = 65_536
+    max_chunk_retries: int = 2
+    chunk_timeout_seconds: float | None = None
+    retry_backoff: float = 0.1
+    fault_plan: Any = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -114,6 +134,15 @@ class ExecutionOptions:
             raise ValueError(
                 "need 1 <= min_chunk_shots <= max_chunk_shots"
             )
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if (
+            self.chunk_timeout_seconds is not None
+            and self.chunk_timeout_seconds <= 0
+        ):
+            raise ValueError("chunk_timeout_seconds must be positive")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     def replace(self, **changes: Any) -> "ExecutionOptions":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""

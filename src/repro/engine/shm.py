@@ -32,6 +32,7 @@ at exit).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import struct
@@ -108,14 +109,10 @@ def _new_segment(size: int):
 def _unlink_segments(segments: list) -> None:
     """Close + unlink, ignoring already-gone segments (idempotent)."""
     for segment in segments:
-        try:
+        with contextlib.suppress(OSError):
             segment.close()
-        except OSError:  # pragma: no cover - defensive
-            pass
-        try:
+        with contextlib.suppress(OSError, FileNotFoundError):
             segment.unlink()
-        except (OSError, FileNotFoundError):
-            pass
     segments.clear()
 
 
@@ -299,8 +296,6 @@ def write_slot(ref: SlotRef, token: int, payload: bytes) -> bool:
 def detach_all() -> None:
     """Drop this process's cached attachments (tests / worker teardown)."""
     for segment in _ATTACHED.values():
-        try:
+        with contextlib.suppress(OSError):
             segment.close()
-        except OSError:  # pragma: no cover - defensive
-            pass
     _ATTACHED.clear()

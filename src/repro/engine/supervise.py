@@ -1,0 +1,402 @@
+"""Supervised worker processes: pipes, heartbeats, crash detection.
+
+This is the actor-style supervision layer under
+:class:`~repro.engine.workers.ChunkRunner`.  Where the old executor
+handed chunks to an opaque ``multiprocessing.Pool`` — whose
+``imap_unordered`` hangs forever if a worker is SIGKILLed mid-chunk —
+:class:`SupervisedPool` owns each worker :class:`multiprocessing.Process`
+directly:
+
+* **One duplex pipe per worker.**  The parent *leases* chunks to a
+  specific worker over its pipe, so it always knows exactly which
+  chunks a dead worker was holding — a crash fails only those leases,
+  never the run.
+* **Liveness, two ways.**  Every worker's process ``sentinel`` is
+  polled together with its pipe in one :func:`multiprocessing.connection.wait`
+  call, so a death wakes the supervisor immediately; and a daemon
+  thread in each worker stamps a shared heartbeat slab every
+  ``heartbeat_interval`` seconds (and ticks a
+  ``repro_worker_heartbeats_total`` counter that rides the existing
+  piggybacked telemetry wire), so a *hung* worker — alive but stuck —
+  is detectable too.
+* **Replenishment.**  :meth:`SupervisedPool.respawn` replaces a dead
+  worker in place; the scheduler re-leases its chunks and the sweep
+  continues.  The derived per-chunk seed scheme makes every replayed
+  chunk bitwise identical, so recovery can never skew counts.
+
+The worker main loop (:func:`worker_main`) is deliberately dumb: recv a
+message, do the work, send the reply.  All policy — retry budgets,
+backoff, quarantine, lease deadlines — lives with the scheduler in
+:mod:`repro.engine.workers`; all *mechanism* for keeping processes
+alive lives here.  This split is the single-node version of the
+scheduler/worker contract the ROADMAP's multi-node sharded collection
+item needs: the messages crossing the pipe are already lease-shaped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Iterable
+
+import repro.obs as obs
+from repro.engine import faults
+
+__all__ = ["SupervisedPool", "WorkerEvent", "worker_main"]
+
+#: How long a graceful stop waits for workers to drain their queued
+#: messages before escalating to terminate/kill.
+_STOP_GRACE_SECONDS = 30.0
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _heartbeat_loop(heartbeats, slot: int, interval: float, stop) -> None:
+    """Stamp this worker's heartbeat slab slot until told to stop.
+
+    Runs on a daemon thread so a chunk busy in numpy keeps beating
+    (NumPy releases the GIL in its kernels).  The obs counter is the
+    telemetry-wire echo of the slab: it ships to the parent piggybacked
+    on the next chunk result, making liveness visible in Prometheus
+    dumps, not just to the supervisor.
+    """
+    pid = str(os.getpid())
+    while not stop.is_set():
+        heartbeats[slot] = time.monotonic()
+        if obs.is_metrics():
+            obs.counter("repro_worker_heartbeats_total", pid=pid).inc()
+        stop.wait(interval)
+
+
+def worker_main(
+    conn,
+    slot: int,
+    wire_config: tuple,
+    heartbeats,
+    heartbeat_interval: float,
+    fault_plan,
+) -> None:
+    """A supervised worker: heartbeat thread + recv/execute/send loop.
+
+    Messages in: ``("chunk", token, index, payload)``,
+    ``("warm", payload)``, ``("stop",)``.  Messages out:
+    ``("result", token, index, ChunkResult)``,
+    ``("error", token, index, message, kind)``,
+    ``("warm", pid, spans, metrics)``.
+
+    A chunk that raises does **not** kill the worker: the error is
+    reported (with ``kind="shm"`` for transport failures, so the parent
+    can degrade the wire) and the loop continues — the parent decides
+    whether to retry or quarantine.  Only a ``stop`` message, a closed
+    pipe, or an actual process death ends the loop.
+    """
+    # Imported lazily: workers imports this module at top level, and
+    # the late import also means a monkeypatched workers.run_chunk
+    # (inherited under fork) is honored.
+    from repro.engine import workers
+
+    workers.enter_worker(wire_config)
+    faults.install(fault_plan)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(heartbeats, slot, heartbeat_interval, stop),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "warm":
+                reply = workers.warm_in_worker(message[1])
+                _send(conn, ("warm",) + reply)
+            elif kind == "chunk":
+                token, index, payload = message[1], message[2], message[3]
+                try:
+                    result = workers.execute_chunk(payload)
+                except Exception as exc:
+                    error_kind = (
+                        "shm"
+                        if isinstance(exc, workers.ShmTransportError)
+                        else "exception"
+                    )
+                    _send(
+                        conn,
+                        (
+                            "error",
+                            token,
+                            index,
+                            f"{type(exc).__name__}: {exc}",
+                            error_kind,
+                        ),
+                    )
+                else:
+                    _send(conn, ("result", token, index, result))
+    finally:
+        stop.set()
+        with contextlib.suppress(OSError):
+            conn.close()
+
+
+def _send(conn, message: tuple) -> None:
+    # A send can only fail when the parent is gone (closed its end or
+    # died); the next recv then raises EOFError and ends the loop, so
+    # suppressing here never hides a live failure.
+    with contextlib.suppress(OSError, ValueError):
+        conn.send(message)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class WorkerEvent:
+    """One supervision event: a worker message, or a worker death."""
+
+    kind: str  # "message" | "died"
+    slot: int
+    pid: int
+    payload: tuple = ()
+
+
+class _Handle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("process", "conn", "slot", "dead")
+
+    def __init__(self, process, conn, slot: int):
+        self.process = process
+        self.conn = conn
+        self.slot = slot
+        self.dead = False
+
+
+class SupervisedPool:
+    """A fixed-size set of supervised worker processes.
+
+    Mechanism only: spawn/respawn, targeted sends, event polling
+    (messages + deaths in one wait), heartbeat ages, shutdown.  The
+    chunk scheduler in :mod:`repro.engine.workers` layers leases,
+    retries and quarantine on top.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        wire_config: tuple | None = None,
+        fault_plan=faults.NOOP,
+        heartbeat_interval: float = 0.5,
+    ):
+        self.workers = workers
+        self._wire_config = (
+            wire_config if wire_config is not None else obs.wire_config()
+        )
+        self._fault_plan = fault_plan
+        self._heartbeat_interval = heartbeat_interval
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        # lock=False: each slot has exactly one writer (its worker) and
+        # one reader (the supervisor), and a torn read of a monotonic
+        # stamp only mis-ages a heartbeat by one interval.
+        self._heartbeats = self._context.Array("d", workers, lock=False)
+        self._handles: list[_Handle | None] = [None] * workers
+
+    def start(self) -> None:
+        for slot in range(self.workers):
+            self._spawn(slot)
+
+    def _spawn(self, slot: int) -> _Handle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                slot,
+                self._wire_config,
+                self._heartbeats,
+                self._heartbeat_interval,
+                self._fault_plan,
+            ),
+            daemon=True,
+            name=f"repro-worker-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        self._heartbeats[slot] = time.monotonic()
+        handle = _Handle(process, parent_conn, slot)
+        self._handles[slot] = handle
+        return handle
+
+    # -- liveness --------------------------------------------------------
+
+    def live_slots(self) -> list[int]:
+        return [
+            h.slot for h in self._handles if h is not None and not h.dead
+        ]
+
+    def worker_pid(self, slot: int) -> int:
+        handle = self._handles[slot]
+        return handle.process.pid if handle is not None else 0
+
+    def heartbeat_age(self, slot: int) -> float:
+        """Seconds since the worker last stamped its heartbeat slot."""
+        return max(0.0, time.monotonic() - self._heartbeats[slot])
+
+    def kill(self, slot: int) -> None:
+        """Forcibly take a worker down (hung / lease-expired)."""
+        handle = self._handles[slot]
+        if handle is None or handle.dead:
+            return
+        handle.process.terminate()
+        handle.process.join(1.0)
+        if handle.process.is_alive():  # pragma: no cover - stuck in C
+            handle.process.kill()
+            handle.process.join(1.0)
+        self._reap(handle)
+
+    def respawn(self, slot: int) -> int:
+        """Replace a dead worker in place; returns the new pid."""
+        handle = self._handles[slot]
+        if handle is not None and not handle.dead:
+            self.kill(slot)
+        return self._spawn(slot).process.pid or 0
+
+    def _reap(self, handle: _Handle) -> None:
+        handle.dead = True
+        with contextlib.suppress(OSError):
+            handle.conn.close()
+        # join() on an already-exited process only collects the zombie.
+        handle.process.join(0.1)
+
+    # -- messaging -------------------------------------------------------
+
+    def send(self, slot: int, message: tuple) -> bool:
+        """Send to one worker; ``False`` means it is (now) dead."""
+        handle = self._handles[slot]
+        if handle is None or handle.dead:
+            return False
+        try:
+            handle.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            self._reap(handle)
+            return False
+        return True
+
+    def poll(self, timeout: float) -> list[WorkerEvent]:
+        """Wait up to ``timeout`` for worker messages and/or deaths.
+
+        One ``connection.wait`` over every live worker's pipe *and*
+        process sentinel: a result wakes us, and so does a SIGKILL.  A
+        recv that fails mid-message (worker died while sending) is a
+        death, not an error — the chunk it was carrying stays leased
+        and the scheduler requeues it.
+        """
+        live = [h for h in self._handles if h is not None and not h.dead]
+        if not live:
+            return []
+        waitables: list[Any] = []
+        for handle in live:
+            waitables.append(handle.conn)
+            waitables.append(handle.process.sentinel)
+        ready = set(connection.wait(waitables, timeout))
+        events: list[WorkerEvent] = []
+        for handle in live:
+            pid = handle.process.pid or 0
+            died = False
+            if handle.conn in ready:
+                while True:
+                    try:
+                        if not handle.conn.poll():
+                            break
+                        message = handle.conn.recv()
+                    except Exception:
+                        # EOF, a torn pickle from a mid-send death, or
+                        # a closed pipe: all mean this worker is gone.
+                        died = True
+                        break
+                    events.append(
+                        WorkerEvent("message", handle.slot, pid, message)
+                    )
+            if not died and handle.process.sentinel in ready:
+                died = not handle.process.is_alive()
+            if died:
+                self._reap(handle)
+                events.append(WorkerEvent("died", handle.slot, pid))
+        return events
+
+    # -- shutdown --------------------------------------------------------
+
+    def stop(self, graceful: bool = True) -> None:
+        """Stop every worker.
+
+        Graceful: send ``stop`` sentinels and give workers a bounded
+        grace window to drain queued messages (so a clean exit never
+        kills a worker mid-chunk), then escalate.  Non-graceful
+        (exception path): terminate immediately — the shared-memory
+        arena has already been unlinked by then, so even a worker stuck
+        attaching cannot pin segments.
+        """
+        handles = [h for h in self._handles if h is not None]
+        if graceful:
+            for handle in handles:
+                if not handle.dead:
+                    self.send(handle.slot, ("stop",))
+            deadline = time.monotonic() + _STOP_GRACE_SECONDS
+            for handle in handles:
+                if handle.dead:
+                    continue
+                handle.process.join(max(0.0, deadline - time.monotonic()))
+        for handle in handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in handles:
+            if handle.process.is_alive():
+                handle.process.join(1.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck in C
+                handle.process.kill()
+                handle.process.join(1.0)
+            with contextlib.suppress(OSError):
+                handle.conn.close()
+        self._handles = [None] * self.workers
+
+    def drain_warm_acks(
+        self, pending: Iterable[int], deadline: float
+    ) -> dict[int, tuple]:
+        """Collect one warm ack per ``pending`` slot until ``deadline``.
+
+        Used by warm broadcasts outside a run: non-warm messages seen
+        here can only be stale results of an abandoned run and are
+        dropped.  A worker that dies mid-warm is respawned and counted
+        as acked with an empty payload — it will pay its compile on its
+        first chunk, which is the pre-warm behavior (and the respawn is
+        observable via ``repro_worker_deaths_total``).
+        """
+        waiting = set(pending)
+        acks: dict[int, tuple] = {}
+        while waiting and time.monotonic() < deadline:
+            remaining = max(0.05, min(0.25, deadline - time.monotonic()))
+            for event in self.poll(remaining):
+                if event.kind == "died":
+                    if obs.is_metrics():
+                        obs.counter("repro_worker_deaths_total").inc()
+                    self.respawn(event.slot)
+                    waiting.discard(event.slot)
+                    acks.setdefault(event.slot, (0, (), ()))
+                elif event.payload and event.payload[0] == "warm":
+                    acks[event.slot] = tuple(event.payload[1:])
+                    waiting.discard(event.slot)
+        return acks

@@ -1,20 +1,34 @@
-"""Chunked execution of collection tasks, serially or in a process pool.
+"""Chunked execution of collection tasks, serially or on supervised workers.
 
 A task's shot budget is split into fixed-size :class:`ChunkSpec`s.  Each
 chunk is self-contained and picklable — it carries the circuit's text
 serialization, the decoder/sampler choice, and the ``(base_seed,
 task_entropy, chunk_index)`` triple of the derived-seed scheme
 (:mod:`repro.rng`) — so it can run on any worker process in any order
-and still produce exactly the same :class:`ChunkResult`.
+and still produce exactly the same :class:`ChunkResult`.  That property
+is also what makes the executor *fault tolerant*: a chunk whose worker
+dies is simply leased to another worker, and the replay is bitwise
+identical, so crashes can delay results but never skew counts.
+
+Pooled execution runs on a :class:`~repro.engine.supervise.SupervisedPool`
+of directly-owned worker processes rather than a fire-and-forget
+``multiprocessing.Pool``: every in-flight chunk is a *lease* tied to a
+specific worker with an optional deadline, worker deaths are detected
+via process sentinels (and stalls via heartbeats), failed leases are
+requeued with bounded exponential backoff, and a chunk that keeps
+failing is quarantined as a structured failure result instead of
+aborting the sweep.  :mod:`repro.engine.faults` injects deterministic
+crashes into this machinery under test.
 
 Workers keep a process-global :class:`~repro.engine.cache.SamplerCache`;
 the first chunk of a circuit a worker sees pays Algorithm 1's
 Initialization (plus DEM extraction and decoder construction), every
 later chunk is pure Eq. 4 sampling + decoding.  A pooled runner can
-also *warm* that cache up front — :meth:`ChunkRunner.warm` broadcasts
-one "compile this fingerprint" task to every worker (a barrier forces
-distribution), so ``backend.compile`` runs once per worker per circuit
-before the first real chunk instead of serializing into it.
+also *warm* that cache up front — :meth:`ChunkRunner.warm` sends one
+"compile this fingerprint" task to each worker over its own pipe (and
+re-warms replacement workers after a crash), so ``backend.compile``
+runs once per worker per circuit before the first real chunk instead
+of serializing into it.
 
 Transport between parent and workers is selectable
 (``transport="pickle" | "shm" | "auto"``): the classic pickle wire
@@ -24,25 +38,28 @@ once per fingerprint and pickles only a small header per chunk, with
 workers parking their telemetry payloads in preallocated result slots —
 per-chunk transport collapses to headers.  Counts are bitwise identical
 under every transport: the worker executes the same :func:`run_chunk`
-on the same derived-seed spec either way.
+on the same derived-seed spec either way.  Mid-run arena failures
+(attach errors, slot corruption) degrade the wire to pickle instead of
+aborting — counts never travel through shared memory, only telemetry
+does.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
-import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 import numpy as np
 
 import repro.engine.shm as shm
 import repro.obs as obs
+from repro.engine import faults
 from repro.engine.cache import shared_cache
+from repro.engine.supervise import SupervisedPool
 from repro.engine.tasks import Task
 from repro.gf2 import bitops
 from repro.rng import chunk_generator
@@ -52,10 +69,29 @@ from repro.rng import chunk_generator
 #: ``REPRO_TRANSPORT`` environment variable), else pickle.
 TRANSPORTS = ("auto", "pickle", "shm")
 
+#: Hard cap on the exponential retry backoff, whatever the attempt count.
+_MAX_BACKOFF_SECONDS = 30.0
+
+#: How long a warm broadcast waits for every worker's ack; generous
+#: because it covers each worker's full compile, but bounded so a
+#: wedged worker cannot stall collection forever (an unwarmed worker
+#: just pays its compile on its first chunk).
+_WARM_TIMEOUT_SECONDS = 60.0
+
+#: Base supervisor poll tick: the longest the scheduler sleeps when no
+#: worker message, lease deadline or retry timer is nearer.
+_POLL_SECONDS = 0.25
+
 
 @dataclass(frozen=True)
 class ChunkSpec:
-    """One self-contained unit of sampling + decoding work."""
+    """One self-contained unit of sampling + decoding work.
+
+    ``attempt`` counts prior failed executions of this chunk (0 on the
+    first try).  It exists for observability and fault-plan matching
+    only — the RNG seed derives from ``(base_seed, task_entropy,
+    chunk_index)`` alone, so every attempt replays identical shots.
+    """
 
     task_id: str
     fingerprint: str
@@ -66,6 +102,7 @@ class ChunkSpec:
     shots: int
     base_seed: int
     task_entropy: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -91,6 +128,7 @@ class ShmChunkSpec:
     shots: int
     base_seed: int
     task_entropy: int
+    attempt: int = 0
     run_token: int = 0
     result_slot: shm.SlotRef | None = None
 
@@ -115,6 +153,14 @@ class ChunkResult:
     payload both ways when :mod:`repro.obs` metrics are on (0 for
     in-process runs — there is no transport to account).
 
+    ``attempt`` is the execution attempt that produced the result
+    (counts are attempt-independent by construction).  ``failed`` marks
+    a *quarantined* chunk — one that exhausted its retry budget; its
+    ``shots``/``errors`` are then the planned shots and 0, its
+    ``error`` the last failure, and downstream aggregation must skip
+    it (the collector records it as a structured failure row instead
+    of counting it).
+
     ``spans``/``metrics`` piggyback the worker's buffered
     :mod:`repro.obs` telemetry back to the parent (wire tuples; the
     runner absorbs them and strips both before yielding).
@@ -134,6 +180,9 @@ class ChunkResult:
     hold_seconds: float = 0.0
     spec_bytes: int = 0
     result_bytes: int = 0
+    attempt: int = 0
+    failed: bool = False
+    error: str = ""
     spans: tuple = ()
     metrics: tuple = ()
     # True when the worker parked its telemetry payload in a
@@ -250,7 +299,8 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
     """Sample + decode one chunk (runs in a worker or in-process).
 
     Reproducible in isolation: the RNG is seeded purely from the spec's
-    ``(base_seed, task_entropy, chunk_index)`` triple.
+    ``(base_seed, task_entropy, chunk_index)`` triple — never from the
+    attempt number, so a retried chunk replays the same shots.
 
     The hot path stays in the packed domain end to end whenever the
     decoder speaks it (or there is no decoder): packed syndromes from
@@ -318,6 +368,7 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
                 ("decoder", spec.fingerprint, spec.decoder),
                 lambda: _build_decoder(spec, circuit),
             )
+            faults.on_decode(spec.chunk_index, spec.attempt, _IN_WORKER)
             with obs.span("decode", chunk=spec.chunk_index) as sp:
                 decode_started = time.perf_counter()
                 predictions = decoder.decode_batch_packed(detectors)
@@ -348,6 +399,7 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
                 ("decoder", spec.fingerprint, spec.decoder),
                 lambda: _build_decoder(spec, circuit),
             )
+            faults.on_decode(spec.chunk_index, spec.attempt, _IN_WORKER)
             with obs.span("decode", chunk=spec.chunk_index) as sp:
                 decode_started = time.perf_counter()
                 predictions = decoder.decode_batch(detectors)
@@ -384,6 +436,7 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
         started_at=started,
         finished_at=finished,
         pid=pid,
+        attempt=spec.attempt,
         # Piggyback buffered telemetry only when running in a pool
         # worker: in-process runs already share the parent's buffers,
         # and shipping+merging there would double-count every metric.
@@ -399,20 +452,13 @@ def run_chunk(spec: ChunkSpec) -> ChunkResult:
 
 
 _IN_WORKER = False
-_WARM_BARRIER = None
-
-#: How long a warm task waits for its siblings; generous because the
-#: wait starts only after the worker's own compile finished, so it
-#: covers the *spread* between compiles, not their duration.
-_WARM_BARRIER_TIMEOUT = 60.0
 
 
-def _pool_worker_init(config: dict, barrier=None) -> None:
-    """Pool initializer: adopt the parent's telemetry flags, keep the
-    warm-broadcast barrier, and mark this process as a worker so
-    ``run_chunk`` ships its telemetry back on the wire (spawned
-    children start with everything off; forked ones inherit flags but
-    still need the worker mark).
+def enter_worker(config) -> None:
+    """Worker initializer: adopt the parent's telemetry flags and mark
+    this process as a worker so ``run_chunk`` ships its telemetry back
+    on the wire (spawned children start with everything off; forked
+    ones inherit flags but still need the worker mark).
 
     The inherited telemetry buffers are dropped first: a forked child
     starts with the parent's registry *including its unshipped deltas*,
@@ -426,12 +472,18 @@ def _pool_worker_init(config: dict, barrier=None) -> None:
     under the child at any time.  Each worker re-attaches on first
     read, against the arena of *its* run.
     """
-    global _IN_WORKER, _WARM_BARRIER
+    global _IN_WORKER
     _IN_WORKER = True
-    _WARM_BARRIER = barrier
     obs.reset()
     obs.configure(config)
     shm.detach_all()
+
+
+class ShmTransportError(RuntimeError):
+    """A worker could not service a shared-memory payload (attach
+    failure, unlinked segment, torn blob).  The supervisor reacts by
+    degrading the run's wire to pickle and retrying the chunk — counts
+    never depend on the arena, only telemetry transport does."""
 
 
 def _spec_from_header(header: ShmChunkSpec) -> ChunkSpec:
@@ -454,6 +506,7 @@ def _spec_from_header(header: ShmChunkSpec) -> ChunkSpec:
         shots=header.shots,
         base_seed=header.base_seed,
         task_entropy=header.task_entropy,
+        attempt=header.attempt,
     )
 
 
@@ -478,29 +531,25 @@ def _warm_cache(spec: ChunkSpec) -> None:
         )
 
 
-def _warm_worker(spec) -> tuple:
-    """Warm-broadcast target: compile, then wait at the barrier.
+def warm_in_worker(payload) -> tuple:
+    """Warm-task target, called from the supervised worker loop.
 
-    The barrier forces distribution: a worker that finished its compile
-    cannot grab a sibling's warm task until every worker holds one, so
-    ``workers`` warm tasks land on ``workers`` distinct processes.  A
-    broken/timed-out barrier degrades gracefully — the compile already
-    happened; at worst an unwarmed worker pays it on its first chunk,
-    which is the pre-warm behavior.
+    Compiles the payload's artifacts into this worker's process cache
+    and returns ``(pid, spans, metrics)`` so the parent can absorb the
+    compile telemetry immediately.  No barrier is needed: each worker
+    receives its warm task over its own pipe, so distribution is by
+    construction — ``workers`` warm tasks land on ``workers`` distinct
+    processes.
     """
-    if isinstance(spec, ShmChunkSpec):
-        spec = _spec_from_header(spec)
+    if isinstance(payload, ShmChunkSpec):
+        payload = _spec_from_header(payload)
     with obs.span(
-        "warm", fingerprint=spec.fingerprint, sampler=spec.sampler,
-        decoder=spec.decoder,
+        "warm",
+        fingerprint=payload.fingerprint,
+        sampler=payload.sampler,
+        decoder=payload.decoder,
     ):
-        _warm_cache(spec)
-    barrier = _WARM_BARRIER
-    if barrier is not None:
-        try:
-            barrier.wait(_WARM_BARRIER_TIMEOUT)
-        except threading.BrokenBarrierError:
-            pass
+        _warm_cache(payload)
     return (
         os.getpid(),
         obs.drain_wire_spans() if _IN_WORKER and obs.is_tracing() else (),
@@ -523,35 +572,88 @@ def warm_spec(task: Task, base_seed: int) -> ChunkSpec:
     )
 
 
-def _indexed_run_chunk(
-    indexed_spec: tuple[int, "ChunkSpec | ShmChunkSpec"],
-) -> tuple[int, ChunkResult]:
-    """Pool target: tag each result with its submission index so the
-    order-restoring buffer can reassemble the deterministic stream.
+def execute_chunk(payload: "ChunkSpec | ShmChunkSpec") -> ChunkResult:
+    """Worker-side execution of one leased chunk.
 
-    Shared-memory headers are rebuilt into plain specs here, and the
-    telemetry payload — the bulk of a profiled result — is parked in
-    the header's result slot when it fits, collapsing the pickled
-    return to its numeric fields.
+    Rebuilds shared-memory headers into plain specs (raising
+    :class:`ShmTransportError` when the arena is unreachable so the
+    parent can degrade the wire), fires the chunk-start fault hooks,
+    runs the chunk, and parks the telemetry payload — the bulk of a
+    profiled result — in the header's result slot when it fits,
+    collapsing the pickled reply to its numeric fields.
     """
-    index, spec = indexed_spec
-    if isinstance(spec, ShmChunkSpec):
-        result = run_chunk(_spec_from_header(spec))
-        if spec.result_slot is not None and (result.spans or result.metrics):
-            payload = pickle.dumps((result.spans, result.metrics))
-            if shm.write_slot(spec.result_slot, spec.run_token, payload):
-                result = replace(
-                    result, spans=(), metrics=(), slot_payload=True
-                )
-        return index, result
-    return index, run_chunk(spec)
+    slot_ref = None
+    token = 0
+    if isinstance(payload, ShmChunkSpec):
+        slot_ref = payload.result_slot
+        token = payload.run_token
+        try:
+            spec = _spec_from_header(payload)
+        except Exception as exc:
+            raise ShmTransportError(
+                f"cannot rebuild chunk {payload.chunk_index} from its "
+                f"shared-memory header: {exc}"
+            ) from exc
+    else:
+        spec = payload
+    faults.on_chunk_start(spec.chunk_index, spec.attempt, _IN_WORKER)
+    result = run_chunk(spec)
+    if slot_ref is not None and (result.spans or result.metrics):
+        data = pickle.dumps((result.spans, result.metrics))
+        if faults.corrupt_slot(spec.chunk_index, spec.attempt, _IN_WORKER):
+            data = b"\x00repro-fault: corrupted slot payload\x00" + data[:8]
+        if shm.write_slot(slot_ref, token, data):
+            result = replace(
+                result, spans=(), metrics=(), slot_payload=True
+            )
+    return result
+
+
+@dataclass
+class _Lease:
+    """Parent-side record of one dispatched chunk attempt."""
+
+    slot: int  # worker slot holding the lease
+    attempt: int
+    submitted: float  # perf_counter stamp, for the chunk timeline
+    deadline: float | None  # monotonic expiry, None = no deadline
+    shm_slot: int  # arena result slot, -1 when on the pickle wire
+    transport: str  # wire this attempt actually used
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping of one supervised run (one `run()` call)."""
+
+    token: int
+    specs: dict[int, ChunkSpec] = field(default_factory=dict)
+    attempts: dict[int, int] = field(default_factory=dict)
+    pending: deque = field(default_factory=deque)
+    delayed: list = field(default_factory=list)  # (ready_monotonic, index)
+    leases: dict[int, _Lease] = field(default_factory=dict)
+    reorder: dict = field(default_factory=dict)
+    free_shm_slots: deque = field(default_factory=deque)
+    submit_times: dict[int, float] = field(default_factory=dict)
+    spec_sizes: dict[int, int] = field(default_factory=dict)
+    next_submit: int = 0
+    next_yield: int = 0
+    exhausted: bool = False
+
+    def live(self) -> int:
+        """Chunks admitted but not yet yielded — the window occupancy."""
+        return (
+            len(self.pending)
+            + len(self.delayed)
+            + len(self.leases)
+            + len(self.reorder)
+        )
 
 
 class ChunkRunner:
     """Executes chunk specs, in-process (``workers <= 1``) or on a
-    ``multiprocessing`` pool.  Context-managed so the pool — and, under
-    shared-memory transport, every ``/dev/shm`` segment — is always
-    reclaimed::
+    supervised worker pool.  Context-managed so the workers — and,
+    under shared-memory transport, every ``/dev/shm`` segment — are
+    always reclaimed::
 
         with ChunkRunner(workers=4) as runner:
             for result in runner.run(specs):
@@ -562,7 +664,20 @@ class ChunkRunner:
     :mod:`repro.engine.shm`; raises at ``__enter__`` when the host
     cannot create segments), or ``"auto"`` (shm when available, else
     pickle; the ``REPRO_TRANSPORT`` environment variable overrides the
-    preference).  Counts are bitwise identical under every transport.
+    preference).  Counts are bitwise identical under every transport,
+    and a mid-run arena failure degrades the wire to pickle instead of
+    aborting.
+
+    Fault tolerance: each dispatched chunk is a *lease* on a specific
+    worker.  A worker death (sentinel), a stalled heartbeat (opt-in via
+    ``heartbeat_timeout_seconds``) or an expired lease
+    (``chunk_timeout_seconds``) requeues the worker's leased chunks
+    with exponential backoff (``retry_backoff * 2**attempt``, capped)
+    and replenishes the pool; a chunk failing more than
+    ``max_chunk_retries`` times is *quarantined* — yielded as a
+    ``failed`` :class:`ChunkResult` instead of aborting the sweep.
+    Replays are bitwise identical by the derived-seed scheme, so none
+    of this can change counts.
     """
 
     def __init__(
@@ -570,22 +685,40 @@ class ChunkRunner:
         workers: int = 1,
         transport: str = "auto",
         slot_bytes: int = 1 << 16,
+        *,
+        max_chunk_retries: int = 2,
+        chunk_timeout_seconds: float | None = None,
+        retry_backoff: float = 0.1,
+        heartbeat_interval_seconds: float = 0.5,
+        heartbeat_timeout_seconds: float | None = None,
+        fault_plan: "faults.FaultPlan | str | None" = None,
     ):
         self.workers = max(1, int(workers))
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, got {transport!r}"
             )
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if chunk_timeout_seconds is not None and chunk_timeout_seconds <= 0:
+            raise ValueError("chunk_timeout_seconds must be positive")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.transport = transport
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.chunk_timeout_seconds = chunk_timeout_seconds
+        self.retry_backoff = float(retry_backoff)
+        self.heartbeat_interval_seconds = heartbeat_interval_seconds
+        self.heartbeat_timeout_seconds = heartbeat_timeout_seconds
+        self.fault_plan = fault_plan
         self._slot_bytes = slot_bytes
         self._mode = "inproc"
-        self._pool = None
+        self._pool: SupervisedPool | None = None
         self._arena: shm.SlabArena | None = None
-        self._warm_barrier = None
-        self._warmed: set[tuple[str, str, str]] = set()
+        # key -> template spec, kept so replacement workers spawned
+        # after a crash can be re-warmed with the same payloads.
+        self._warmed: dict[tuple[str, str, str], ChunkSpec] = {}
         self._run_token = 0
-        self._feeder_stop: threading.Event | None = None
-        self._feeder_slots: threading.Semaphore | None = None
 
     def _resolve_transport(self) -> str:
         """The wire a pooled run will use, honoring explicit choices
@@ -609,22 +742,20 @@ class ChunkRunner:
 
     @property
     def active_transport(self) -> str:
-        """The resolved wire: ``inproc`` (serial), ``pickle`` or ``shm``."""
+        """The resolved wire: ``inproc`` (serial), ``pickle`` or
+        ``shm``.  Reports ``pickle`` after a mid-run degrade."""
         return self._mode
 
     def __enter__(self) -> "ChunkRunner":
         if self.workers > 1:
             self._mode = self._resolve_transport()
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
+            self._pool = SupervisedPool(
+                self.workers,
+                wire_config=obs.wire_config(),
+                fault_plan=faults.resolve_plan(self.fault_plan),
+                heartbeat_interval=self.heartbeat_interval_seconds,
             )
-            self._warm_barrier = context.Barrier(self.workers)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_pool_worker_init,
-                initargs=(obs.wire_config(), self._warm_barrier),
-            )
+            self._pool.start()
             if self._mode == "shm":
                 try:
                     self._arena = shm.SlabArena(
@@ -640,37 +771,30 @@ class ChunkRunner:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         try:
+            if exc_type is not None and self._arena is not None:
+                # Exception path: unlink the /dev/shm segments *before*
+                # stopping workers.  Unlinking only removes the names —
+                # attached workers keep their mappings until they exit —
+                # so this can never corrupt an in-flight chunk, but it
+                # guarantees no segment outlives the runner even if a
+                # worker refuses to die and terminate() below hangs.
+                self._arena.close()
+                self._arena = None
             if self._pool is not None:
-                self._release_feeder()
-                if exc_type is None:
-                    # Clean shutdown: let in-flight chunks finish so
-                    # forked children flush coverage data and never die
-                    # holding a half-written sampler-cache entry.
-                    self._pool.close()
-                else:
-                    self._pool.terminate()
-                self._pool.join()
+                # Clean shutdown waits (bounded) for in-flight chunks so
+                # forked children flush coverage data; the exception
+                # path terminates immediately.
+                self._pool.stop(graceful=exc_type is None)
                 self._pool = None
         finally:
             # Segments are unlinked on *every* exit path — exception,
-            # KeyboardInterrupt, pool-join failure — so a dead run never
-            # leaks /dev/shm space.
+            # KeyboardInterrupt, worker-join failure — so a dead run
+            # never leaks /dev/shm space.
             if self._arena is not None:
                 self._arena.close()
                 self._arena = None
-            self._warm_barrier = None
             self._warmed.clear()
             self._mode = "inproc"
-
-    def _release_feeder(self) -> None:
-        """Unblock the active run's feeder so close/join cannot hang on
-        its in-flight-window semaphore."""
-        if self._feeder_stop is not None:
-            self._feeder_stop.set()
-            if self._feeder_slots is not None:
-                self._feeder_slots.release()
-            self._feeder_stop = None
-            self._feeder_slots = None
 
     def _header_for(
         self, spec: ChunkSpec, slot_id: int = -1
@@ -690,14 +814,39 @@ class ChunkRunner:
             shots=spec.shots,
             base_seed=spec.base_seed,
             task_entropy=spec.task_entropy,
+            attempt=spec.attempt,
             run_token=self._run_token,
             result_slot=(
                 self._arena.slot_ref(slot_id) if slot_id >= 0 else None
             ),
         )
 
+    def _degrade(self, reason: str) -> None:
+        """Fall back from the shm wire to pickle for the rest of this
+        runner's life (arena write failure, slot corruption, worker
+        attach failure).  Already-dispatched headers stay valid — the
+        arena itself is not closed until ``__exit__`` — but every later
+        dispatch ships whole specs.  Counts are unaffected either way.
+        """
+        if self._mode != "shm":
+            return
+        self._mode = "pickle"
+        if obs.is_metrics():
+            obs.counter("repro_transport_degraded_total").inc()
+        obs.event("transport degraded to pickle", reason=reason)
+
+    def _send_warm(self, slot: int, spec: ChunkSpec) -> bool:
+        payload: ChunkSpec | ShmChunkSpec = spec
+        if self._mode == "shm" and self._arena is not None:
+            try:
+                payload = self._header_for(spec)
+            except (RuntimeError, OSError, ValueError) as exc:
+                self._degrade(f"arena write failed during warm: {exc}")
+                payload = spec
+        return self._pool.send(slot, ("warm", payload))
+
     def warm(self, spec: ChunkSpec) -> bool:
-        """Broadcast "compile this fingerprint" to every pool worker.
+        """Send "compile this fingerprint" to every pool worker.
 
         Each worker builds the spec's circuit, sampler and (non-none)
         decoder into its process cache, so ``backend.compile`` runs
@@ -707,15 +856,14 @@ class ChunkRunner:
         serial path compiles lazily, once, anyway).  Returns whether a
         broadcast actually ran.  The workers' compile telemetry is
         merged into the parent's buffers immediately, not deferred to
-        their first chunk.
+        their first chunk.  The template is retained so a replacement
+        worker spawned after a crash is re-warmed before it takes
+        leases.
         """
         key = (spec.fingerprint, spec.sampler, spec.decoder)
         if self._pool is None or key in self._warmed:
             return False
-        self._warmed.add(key)
-        payload = (
-            self._header_for(spec) if self._arena is not None else spec
-        )
+        self._warmed[key] = spec
         with obs.span(
             "warm.broadcast",
             fingerprint=spec.fingerprint,
@@ -723,21 +871,20 @@ class ChunkRunner:
             decoder=spec.decoder,
             workers=self.workers,
         ):
-            # chunksize=1 is load-bearing: map() batching would hand
-            # several warm tasks to one worker and deadlock the barrier.
-            outcomes = self._pool.map(
-                _warm_worker, [payload] * self.workers, chunksize=1
+            sent = [
+                slot
+                for slot in self._pool.live_slots()
+                if self._send_warm(slot, spec)
+            ]
+            acks = self._pool.drain_warm_acks(
+                sent, time.monotonic() + _WARM_TIMEOUT_SECONDS
             )
-        for _pid, spans, metrics in outcomes:
-            if spans:
-                obs.absorb_spans(spans)
-            if metrics:
-                obs.merge_wire(metrics)
-        if self._warm_barrier is not None and self._warm_barrier.broken:
-            try:
-                self._warm_barrier.reset()
-            except (OSError, ValueError):  # pragma: no cover - defensive
-                pass
+            for _slot in sorted(acks):
+                _pid, spans, metrics = acks[_slot]
+                if spans:
+                    obs.absorb_spans(spans)
+                if metrics:
+                    obs.merge_wire(metrics)
         if obs.is_metrics():
             obs.counter("repro_warm_broadcasts_total").inc()
         return True
@@ -792,6 +939,7 @@ class ChunkRunner:
                 spec_bytes=spec_bytes,
                 result_bytes=result_bytes,
                 transport=transport,
+                attempt=result.attempt,
             )
         )
         return replace(
@@ -807,21 +955,25 @@ class ChunkRunner:
     def run(self, specs: Iterable[ChunkSpec]) -> Iterator[ChunkResult]:
         """Yield results in chunk-submission order.
 
-        Pooled execution streams chunks through ``imap_unordered`` with
-        a bounded in-flight window of ``2 * workers`` and an
+        Pooled execution leases chunks to supervised workers with a
+        bounded in-flight window of ``2 * workers`` and an
         order-restoring reorder buffer, so downstream aggregation sees
         the same deterministic stream serial execution produces while a
-        slow chunk never barriers its peers — the old wave scheduler
-        made up to ``2 * workers - 1`` finished workers idle at every
-        wave edge.  The window doubles as the speculative-overrun bound
-        the max-errors early stop relies on: a consumer that stops
-        early wastes at most one window of work (``Pool.imap``'s feeder
-        thread would eagerly submit the task's whole remaining budget).
+        slow chunk never barriers its peers.  The window doubles as the
+        speculative-overrun bound the max-errors early stop relies on:
+        a consumer that stops early wastes at most one window of work.
 
-        One pooled run at a time: the pool drains one task stream fully
-        before the next, so close (or exhaust) a run's iterator before
-        starting another — abandoning it to the garbage collector also
-        works, which is what a ``for``-loop ``break`` does.
+        Failed leases (worker death, expiry, in-chunk exception) are
+        retried in place — the retried chunk re-enters the window it
+        already occupies, so recovery never widens the overrun bound —
+        and chunks that exhaust their retry budget are yielded as
+        ``failed`` results in their deterministic position.
+
+        One pooled run at a time: close (or exhaust) a run's iterator
+        before starting another — abandoning it to the garbage
+        collector also works, which is what a ``for``-loop ``break``
+        does; results still in flight from the abandoned run carry its
+        stale token and are dropped.
         """
         if self._pool is None:
             for spec in specs:
@@ -836,117 +988,322 @@ class ChunkRunner:
                     received=result.finished_at,
                 )
             return
-        window = 2 * self.workers
-        # The pool's task-handler thread pulls from this generator; the
-        # semaphore blocks it once `window` chunks are in flight, and
-        # each consumed result releases one slot.  The stop event makes
-        # an abandoned run (early stop) drain instead of deadlocking
-        # the handler thread against a full window.
-        slots = threading.Semaphore(window)
-        stop = threading.Event()
-        self._feeder_stop = stop
-        self._feeder_slots = slots
+        yield from self._run_pooled(specs)
 
-        # Transport accounting re-pickles specs/results on the parent
-        # (the pool's own pickling is not observable), so it is paid
-        # only when metrics are on.
+    # -- supervised scheduling -------------------------------------------
+
+    def _run_pooled(
+        self, specs: Iterable[ChunkSpec]
+    ) -> Iterator[ChunkResult]:
+        pool = self._pool
         measure = obs.is_metrics()
-        submit_times: dict[int, float] = {}
-        spec_sizes: dict[int, int] = {}
-        transport = self._mode
-        arena = self._arena
-        # Per-run token: a slot write from an abandoned run's still-
-        # draining chunk carries the old token and is dropped on read.
+        window = 2 * self.workers
+        # Matches the window: with 2 leases per worker, one chunk is
+        # always queued behind the one executing, so a worker never
+        # idles waiting for the next dispatch round-trip.
+        per_worker = max(1, window // self.workers)
         self._run_token += 1
-        token = self._run_token
-        # One slot per in-flight-window entry.  A slot is reusable the
-        # moment its payload is read (at receive), and the semaphore is
-        # released strictly later (at yield), so the free list can
-        # never be empty when the feeder pops after an acquire.
-        free_slots: deque[int] = (
-            deque(range(arena.slot_count)) if arena is not None else deque()
-        )
-        slot_ids: dict[int, int] = {}
+        state = _RunState(token=self._run_token)
+        if self._arena is not None and self._mode == "shm":
+            state.free_shm_slots.extend(range(self._arena.slot_count))
+        spec_iter = iter(specs)
+        transports: dict[int, str] = {}
 
-        def feed() -> Iterator[tuple[int, "ChunkSpec | ShmChunkSpec"]]:
-            for index, spec in enumerate(specs):
-                slots.acquire()
-                if stop.is_set():
-                    return
+        def lease_capacity() -> list[tuple[int, int]]:
+            """(load, slot) for live workers with lease headroom."""
+            loads: dict[int, int] = {}
+            for lease in state.leases.values():
+                loads[lease.slot] = loads.get(lease.slot, 0) + 1
+            return sorted(
+                (loads.get(slot, 0), slot)
+                for slot in pool.live_slots()
+                if loads.get(slot, 0) < per_worker
+            )
+
+        def requeue(index: int, lease: _Lease, reason: str) -> None:
+            """A lease failed: back off and retry, or quarantine."""
+            if lease.shm_slot >= 0:
+                # The slot is reusable immediately: any late write from
+                # the failed attempt carries this run's token, and a
+                # retried reader seeing it gets identical telemetry (or
+                # nothing) — counts never travel through slots.
+                state.free_shm_slots.append(lease.shm_slot)
+            failed_attempts = lease.attempt + 1
+            if failed_attempts > self.max_chunk_retries:
+                quarantine(index, failed_attempts, reason)
+                return
+            if measure:
+                obs.counter("repro_chunk_retries_total").inc()
+            state.attempts[index] = failed_attempts
+            delay = min(
+                self.retry_backoff * (2 ** lease.attempt),
+                _MAX_BACKOFF_SECONDS,
+            )
+            state.delayed.append((time.monotonic() + delay, index))
+
+        def quarantine(index: int, tries: int, reason: str) -> None:
+            """Retry budget exhausted: emit a structured failure result
+            in the chunk's deterministic position instead of aborting
+            the sweep."""
+            if measure:
+                obs.gauge("repro_chunks_quarantined").add(1)
+            spec = state.specs[index]
+            obs.event(
+                "chunk quarantined",
+                task=spec.task_id,
+                chunk=spec.chunk_index,
+                attempts=tries,
+                reason=reason,
+            )
+            state.submit_times.pop(index, None)
+            state.spec_sizes.pop(index, None)
+            state.reorder[index] = (
+                ChunkResult(
+                    task_id=spec.task_id,
+                    chunk_index=spec.chunk_index,
+                    shots=spec.shots,
+                    errors=0,
+                    seconds=0.0,
+                    attempt=tries - 1,
+                    failed=True,
+                    error=f"quarantined after {tries} attempts: {reason}",
+                ),
+                time.perf_counter(),
+                0,
+            )
+
+        def on_worker_down(slot: int, *, expired: bool = False) -> None:
+            """Requeue a dead worker's leases and replace it in place."""
+            if measure and not expired:
+                obs.counter("repro_worker_deaths_total").inc()
+            mine = [
+                index
+                for index, lease in state.leases.items()
+                if lease.slot == slot
+            ]
+            pool.respawn(slot)
+            # Re-warm the replacement before it takes leases: its pipe
+            # delivers these warm tasks ahead of any later chunk, so it
+            # never pays a compile inside a leased chunk's deadline.
+            for template in self._warmed.values():
+                self._send_warm(slot, template)
+            for index in mine:
+                lease = state.leases.pop(index)
+                requeue(
+                    index,
+                    lease,
+                    "lease expired" if expired else "worker died",
+                )
+
+        def dispatch(index: int) -> bool:
+            """Lease one pending chunk to the least-loaded live worker."""
+            capacity = lease_capacity()
+            while True:
+                if not capacity:
+                    return False
+                _load, slot = capacity.pop(0)
+                spec = state.specs[index]
+                attempt = state.attempts[index]
+                if spec.attempt != attempt:
+                    spec = replace(spec, attempt=attempt)
                 payload: ChunkSpec | ShmChunkSpec = spec
-                if arena is not None:
-                    slot_id = free_slots.popleft()
-                    slot_ids[index] = slot_id
-                    payload = self._header_for(spec, slot_id)
-                submit_times[index] = time.perf_counter()
+                shm_slot = -1
+                wire = "pickle"
+                if self._mode == "shm" and self._arena is not None:
+                    try:
+                        if state.free_shm_slots:
+                            shm_slot = state.free_shm_slots.popleft()
+                        payload = self._header_for(spec, shm_slot)
+                        wire = "shm"
+                    except (RuntimeError, OSError, ValueError) as exc:
+                        if shm_slot >= 0:
+                            state.free_shm_slots.append(shm_slot)
+                            shm_slot = -1
+                        self._degrade(f"arena write failed: {exc}")
+                        payload = spec
+                state.submit_times[index] = time.perf_counter()
                 if measure:
-                    spec_sizes[index] = len(pickle.dumps(payload))
-                yield index, payload
-
-        reorder: dict[int, tuple[ChunkResult, float, int]] = {}
-        next_index = 0
-        try:
-            for index, result in self._pool.imap_unordered(
-                _indexed_run_chunk, feed()
-            ):
-                received = time.perf_counter()
-                result_bytes = len(pickle.dumps(result)) if measure else 0
-                if arena is not None:
-                    slot_id = slot_ids.pop(index, -1)
-                    if result.slot_payload and slot_id >= 0:
-                        payload_bytes = arena.read_slot(slot_id, token)
-                        spans: tuple = ()
-                        metrics: tuple = ()
-                        if payload_bytes is not None:
-                            try:
-                                spans, metrics = pickle.loads(payload_bytes)
-                            except Exception:
-                                # Telemetry is lossy by design; counts
-                                # never travel through slots.
-                                spans, metrics = (), ()
-                            if measure:
-                                obs.counter(
-                                    "repro_shm_slot_payload_bytes_total"
-                                ).inc(len(payload_bytes))
-                        result = replace(
-                            result,
-                            spans=tuple(spans),
-                            metrics=tuple(metrics),
-                            slot_payload=False,
-                        )
-                    if slot_id >= 0:
-                        free_slots.append(slot_id)
-                reorder[index] = (result, received, result_bytes)
-                # A slot is freed only when its result is *yielded*, not
-                # when it lands in the reorder buffer: results parked
-                # behind a slow head-of-line chunk keep holding slots,
-                # so (running + buffered) never exceeds the window and
-                # the early-stop overrun bound is strict, not
-                # best-effort.  No deadlock: the feeder submits in
-                # order, so the chunk `next_index` waits for is always
-                # already in flight or buffered.
-                while next_index in reorder:
-                    buffered, received_at, in_bytes = reorder.pop(
-                        next_index
+                    state.spec_sizes[index] = len(pickle.dumps(payload))
+                if pool.send(slot, ("chunk", state.token, index, payload)):
+                    transports[index] = wire
+                    state.leases[index] = _Lease(
+                        slot=slot,
+                        attempt=attempt,
+                        submitted=state.submit_times[index],
+                        deadline=(
+                            time.monotonic() + self.chunk_timeout_seconds
+                            if self.chunk_timeout_seconds
+                            else None
+                        ),
+                        shm_slot=shm_slot,
+                        transport=wire,
                     )
+                    return True
+                # The worker died between poll and send.  The chunk was
+                # never leased (no retry charged); replace the worker
+                # and try the next candidate.
+                if shm_slot >= 0:
+                    state.free_shm_slots.append(shm_slot)
+                on_worker_down(slot)
+                capacity = lease_capacity()
+
+        def absorb_slot_payload(result: ChunkResult, lease: _Lease):
+            """Read a slot-parked telemetry payload; a torn payload
+            degrades the wire (telemetry is lossy, counts are not)."""
+            spans: tuple = ()
+            metrics: tuple = ()
+            data = (
+                self._arena.read_slot(lease.shm_slot, state.token)
+                if self._arena is not None and lease.shm_slot >= 0
+                else None
+            )
+            if data is not None:
+                try:
+                    spans, metrics = pickle.loads(data)
+                except Exception:
+                    self._degrade("corrupt result-slot payload")
+                else:
+                    if measure:
+                        obs.counter(
+                            "repro_shm_slot_payload_bytes_total"
+                        ).inc(len(data))
+            return replace(
+                result,
+                spans=tuple(spans),
+                metrics=tuple(metrics),
+                slot_payload=False,
+            )
+
+        def on_message(payload: tuple) -> None:
+            kind = payload[0]
+            if kind == "result":
+                _, token, index, result = payload
+                if token != state.token or index not in state.leases:
+                    return  # stale: abandoned run or already-requeued lease
+                lease = state.leases.pop(index)
+                received = time.perf_counter()
+                result_bytes = (
+                    len(pickle.dumps(result)) if measure else 0
+                )
+                if result.slot_payload:
+                    result = absorb_slot_payload(result, lease)
+                if lease.shm_slot >= 0:
+                    state.free_shm_slots.append(lease.shm_slot)
+                state.reorder[index] = (result, received, result_bytes)
+            elif kind == "error":
+                _, token, index, message, error_kind = payload
+                if token != state.token or index not in state.leases:
+                    return
+                if error_kind == "shm":
+                    self._degrade(f"worker transport failure: {message}")
+                requeue(index, state.leases.pop(index), message)
+            elif kind == "warm":
+                # Late warm ack from a re-warmed replacement worker.
+                _, _pid, spans, metrics = payload
+                if spans:
+                    obs.absorb_spans(spans)
+                if metrics:
+                    obs.merge_wire(metrics)
+
+        while True:
+            # Ripen retry timers.
+            if state.delayed:
+                now = time.monotonic()
+                ripe = sorted(
+                    index for ready, index in state.delayed if ready <= now
+                )
+                if ripe:
+                    state.delayed = [
+                        entry for entry in state.delayed if entry[0] > now
+                    ]
+                    state.pending.extend(ripe)
+            # Admit new chunks while the window has room.
+            while not state.exhausted and state.live() < window:
+                try:
+                    spec = next(spec_iter)
+                except StopIteration:
+                    state.exhausted = True
+                    break
+                state.specs[state.next_submit] = spec
+                state.attempts[state.next_submit] = 0
+                state.pending.append(state.next_submit)
+                state.next_submit += 1
+            # Lease out pending chunks up to per-worker capacity.
+            while state.pending:
+                if not dispatch(state.pending[0]):
+                    break
+                state.pending.popleft()
+            # Done?  Everything admitted has been yielded.
+            if state.exhausted and state.live() == 0:
+                return
+            # Wait for worker events, but no longer than the nearest
+            # lease deadline or retry timer needs.
+            wait = _POLL_SECONDS
+            now = time.monotonic()
+            if state.delayed:
+                wait = min(
+                    wait, min(ready for ready, _ in state.delayed) - now
+                )
+            deadlines = [
+                lease.deadline
+                for lease in state.leases.values()
+                if lease.deadline is not None
+            ]
+            if deadlines:
+                wait = min(wait, min(deadlines) - now)
+            for event in pool.poll(max(0.01, wait)):
+                if event.kind == "died":
+                    on_worker_down(event.slot)
+                elif event.payload:
+                    on_message(event.payload)
+            # Expire overdue leases: the holder is killed (it may be
+            # wedged, and killing guarantees no late duplicate result),
+            # which fails all its leases at once.
+            if self.chunk_timeout_seconds:
+                now = time.monotonic()
+                overdue = {
+                    lease.slot
+                    for lease in state.leases.values()
+                    if lease.deadline is not None and lease.deadline <= now
+                }
+                for slot in overdue:
+                    if measure:
+                        obs.counter("repro_lease_expired_total").inc()
+                    pool.kill(slot)
+                    on_worker_down(slot, expired=True)
+            # Hung-worker detection (opt-in): a worker whose heartbeat
+            # thread has gone silent is dead weight even without lease
+            # deadlines.
+            if self.heartbeat_timeout_seconds:
+                for slot in pool.live_slots():
+                    if (
+                        pool.heartbeat_age(slot)
+                        > self.heartbeat_timeout_seconds
+                    ):
+                        pool.kill(slot)
+                        on_worker_down(slot)
+            # Drain the reorder buffer in deterministic order.
+            while state.next_yield in state.reorder:
+                result, received_at, result_bytes = state.reorder.pop(
+                    state.next_yield
+                )
+                if result.failed:
+                    # Quarantined: no worker stamps to build a timeline
+                    # from; yield the structured failure as-is.
+                    yield result
+                else:
                     yield self._finalize(
-                        buffered,
-                        submitted=submit_times.pop(
-                            next_index, received_at
+                        result,
+                        submitted=state.submit_times.pop(
+                            state.next_yield, received_at
                         ),
                         received=received_at,
-                        spec_bytes=spec_sizes.pop(next_index, 0),
-                        result_bytes=in_bytes,
-                        transport=transport,
+                        spec_bytes=state.spec_sizes.pop(
+                            state.next_yield, 0
+                        ),
+                        result_bytes=result_bytes,
+                        transport=transports.pop(
+                            state.next_yield, self._mode
+                        ),
                     )
-                    next_index += 1
-                    slots.release()
-        finally:
-            # Close over this run's own primitives: an abandoned older
-            # generator being finalized must never trip a newer run's
-            # stop event or semaphore.
-            stop.set()
-            slots.release()
-            if self._feeder_stop is stop:
-                self._feeder_stop = None
-                self._feeder_slots = None
+                state.next_yield += 1

@@ -50,6 +50,10 @@ class ChunkTimeline:
     #: Which wire carried the chunk: ``"inproc"`` (serial), ``"pickle"``
     #: or ``"shm"`` (header-only pickles, payloads via shared memory).
     transport: str = "inproc"
+    #: Which execution attempt produced the result (0 = first try; a
+    #: nonzero value means earlier attempts were lost to a worker
+    #: crash, an expired lease, or an in-chunk failure and retried).
+    attempt: int = 0
 
     @property
     def queue_wait_seconds(self) -> float:

@@ -195,7 +195,7 @@ class TestReporters:
         assert "line=3" in lines[0]
         assert "title=RNG001" in lines[0]
         assert "::" in lines[0].split("title=RNG001", 1)[1]
-        assert lines[-1] == "1 finding(s) in 1 file(s), 13 rule(s)"
+        assert lines[-1] == "1 finding(s) in 1 file(s), 14 rule(s)"
 
     def test_github_annotation_escaping(self):
         finding = Finding(

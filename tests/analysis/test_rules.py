@@ -515,3 +515,87 @@ class TestAPI001:
         )})
         assert result.findings == []
         assert [f.rule for f in result.suppressed] == ["API001"]
+
+
+class TestEXC001:
+    ENGINE = {
+        "repro/__init__.py": "",
+        "repro/engine/__init__.py": "",
+    }
+
+    def test_except_pass_in_engine_flagged(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/pool.py": (
+            "def reap(conn):\n"
+            "    try:\n"
+            "        conn.close()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )})
+        assert rules_found(result) == ["EXC001"]
+        assert "OSError" in result.findings[0].message
+        assert "suppress" in result.findings[0].hint
+
+    def test_bare_except_without_reraise_flagged(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/loopy.py": (
+            "def drain(queue):\n"
+            "    try:\n"
+            "        return queue.get()\n"
+            "    except:\n"
+            "        return None\n"
+        )})
+        assert rules_found(result) == ["EXC001"]
+        assert "bare except" in result.findings[0].message
+
+    def test_bare_except_with_reraise_clean(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/clean.py": (
+            "def guarded(conn):\n"
+            "    try:\n"
+            "        return conn.recv()\n"
+            "    except:\n"
+            "        conn.close()\n"
+            "        raise\n"
+        )})
+        assert result.findings == []
+
+    def test_contextlib_suppress_clean(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/ok.py": (
+            "import contextlib\n"
+            "def reap(conn):\n"
+            "    with contextlib.suppress(OSError):\n"
+            "        conn.close()\n"
+        )})
+        assert result.findings == []
+
+    def test_handler_with_real_work_clean(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/retry.py": (
+            "def attempt(chunk, requeue):\n"
+            "    try:\n"
+            "        return chunk.run()\n"
+            "    except RuntimeError as exc:\n"
+            "        requeue(chunk, str(exc))\n"
+        )})
+        assert result.findings == []
+
+    def test_non_engine_module_not_in_scope(self, tmp_path):
+        result = scan(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/util.py": (
+                "def probe(path):\n"
+                "    try:\n"
+                "        return open(path).read()\n"
+                "    except OSError:\n"
+                "        pass\n"
+            ),
+        })
+        assert "EXC001" not in rules_found(result)
+
+    def test_suppression_comment(self, tmp_path):
+        result = scan(tmp_path, {**self.ENGINE, "repro/engine/old.py": (
+            "def reap(conn):\n"
+            "    try:\n"
+            "        conn.close()\n"
+            "    except OSError:  # repro: ignore[EXC001]\n"
+            "        pass\n"
+        )})
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["EXC001"]
